@@ -1,0 +1,191 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 7). Each benchmark is one experiment of DESIGN.md's
+// per-experiment index; run them with
+//
+//	go test -bench=. -benchmem
+//
+// The figure data itself is printed by cmd/flexray-bench; these benches
+// measure the cost of regenerating it and keep the experiments
+// permanently exercised by CI.
+package flexopt_test
+
+import (
+	"testing"
+
+	flexopt "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// BenchmarkFig1Trace regenerates the Fig. 1 protocol-mechanics trace
+// (two bus cycles, eight messages, three nodes).
+func BenchmarkFig1Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig1Trace(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3STSegment regenerates the three static-segment
+// configurations of Fig. 3 (paper: R3 = 16/12/10).
+func BenchmarkFig3STSegment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.R3 != r.PaperR3 {
+				b.Fatalf("%v: R3=%v, paper %v", r.Variant, r.R3, r.PaperR3)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4DYNSegment regenerates the three dynamic-segment
+// configurations of Fig. 4 (paper: R2 = 37/35/21).
+func BenchmarkFig4DYNSegment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.R2 != r.PaperR2 {
+				b.Fatalf("%v: R2=%v, paper %v", r.Variant, r.R2, r.PaperR2)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7DYNSweep regenerates the response-time versus
+// dynamic-segment-length characterisation (Fig. 7) at a reduced
+// resolution.
+func BenchmarkFig7DYNSweep(b *testing.B) {
+	p := experiments.DefaultFig7Params()
+	p.Points = 9
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Quality regenerates a reduced Fig. 9 left panel: cost
+// deviation of BBC / OBC-CF / OBC-EE versus the SA baseline.
+func BenchmarkFig9Quality(b *testing.B) {
+	p := experiments.QuickFig9Params()
+	p.AppsPerSet = 1
+	p.NodeCounts = []int{2, 3}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+// BenchmarkFig9Runtime times the four optimisers on one mid-size
+// system (Fig. 9 right panel, single column).
+func BenchmarkFig9Runtime(b *testing.B) {
+	sys, err := flexopt.Generate(flexopt.DefaultGenParams(3, 77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.QuickFig9Params().Opts
+	for _, alg := range []struct {
+		name string
+		run  func(*flexopt.System, flexopt.Options) (*flexopt.Result, error)
+	}{
+		{"BBC", flexopt.BBC},
+		{"OBC-CF", flexopt.OBCCF},
+		{"OBC-EE", flexopt.OBCEE},
+		{"SA", flexopt.SA},
+	} {
+		b.Run(alg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.run(sys, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCruiseController regenerates the in-text case study: BBC
+// unschedulable, OBC-CF and OBC-EE schedulable with OBC-CF cheaper.
+func BenchmarkCruiseController(b *testing.B) {
+	opts := core.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Cruise(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Schedulable {
+			b.Fatal("BBC unexpectedly schedulable")
+		}
+		if !rows[1].Schedulable || !rows[2].Schedulable {
+			b.Fatal("OBC variants must configure the cruise controller")
+		}
+	}
+}
+
+// BenchmarkAblations runs the three design-choice ablations of
+// DESIGN.md §6 (FrameID order, latest-transmission rule, fill solver).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations([]int64{1, 2}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d, want 6", len(rows))
+		}
+	}
+}
+
+// BenchmarkEvaluation measures a single schedule+analysis evaluation —
+// the unit of work every optimiser spends its budget on.
+func BenchmarkEvaluation(b *testing.B) {
+	sys, err := flexopt.Generate(flexopt.DefaultGenParams(4, 123))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flexopt.BBC(sys, flexopt.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := flexopt.BuildSchedule(sys, res.Config, flexopt.DefaultSchedOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulation measures one hyper-period of discrete-event
+// simulation of a configured four-node system.
+func BenchmarkSimulation(b *testing.B) {
+	sys, err := flexopt.Generate(flexopt.DefaultGenParams(4, 123))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flexopt.BBC(sys, flexopt.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, _, err := flexopt.BuildSchedule(sys, res.Config, flexopt.DefaultSchedOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flexopt.Simulate(sys, res.Config, table, flexopt.DefaultSimOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// flexray-bench regenerates the figures of the paper's evaluation
+// section. Each subcommand prints the rows or series of one figure;
+// `all` runs everything.
+//
+// Usage:
+//
+//	flexray-bench fig1            # protocol mechanics trace (Fig. 1)
+//	flexray-bench fig3            # ST segment optimisation example (Fig. 3)
+//	flexray-bench fig4            # DYN segment optimisation example (Fig. 4)
+//	flexray-bench fig7            # response time vs DYN length (Fig. 7)
+//	flexray-bench fig9 [-full]    # heuristic evaluation (Fig. 9, both panels)
+//	flexray-bench cruise          # cruise-controller case study
+//	flexray-bench ablation        # design-choice ablations (DESIGN.md §6)
+//	flexray-bench all [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale Fig. 9 population (25 apps per node count)")
+	flag.Parse()
+	// Accept the -full flag in any position: the flag package stops
+	// parsing at the first subcommand.
+	var cmds []string
+	for _, a := range flag.Args() {
+		if a == "-full" || a == "--full" {
+			*full = true
+			continue
+		}
+		cmds = append(cmds, a)
+	}
+	if len(cmds) == 0 {
+		cmds = []string{"all"}
+	}
+	for _, cmd := range cmds {
+		switch strings.ToLower(cmd) {
+		case "fig1":
+			fig1()
+		case "fig3":
+			fig3()
+		case "fig4":
+			fig4()
+		case "fig7":
+			fig7()
+		case "fig9":
+			fig9(*full)
+		case "cruise":
+			cruiseStudy()
+		case "ablation":
+			ablation()
+		case "all":
+			fig1()
+			fig3()
+			fig4()
+			fig7()
+			cruiseStudy()
+			ablation()
+			fig9(*full)
+		default:
+			fmt.Fprintf(os.Stderr, "flexray-bench: unknown experiment %q\n", cmd)
+			os.Exit(2)
+		}
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flexray-bench:", err)
+	os.Exit(1)
+}
+
+func fig1() {
+	header("Fig. 1 — FlexRay communication cycle example (bus trace, 2 cycles)")
+	trace, _, err := experiments.Fig1Trace()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(trace)
+}
+
+func fig3() {
+	header("Fig. 3 — Optimisation of the ST segment (paper: R3 = 16 / 12 / 10)")
+	rows, err := experiments.Fig3()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-8s %-10s %-8s %-8s %-8s %-10s\n", "variant", "gdCycle", "R1", "R2", "R3", "paper R3")
+	for _, r := range rows {
+		fmt.Printf("%-8v %-10v %-8v %-8v %-8v %-10v\n", r.Variant, r.GdCycle, r.R1, r.R2, r.R3, r.PaperR3)
+	}
+}
+
+func fig4() {
+	header("Fig. 4 — Optimisation of the DYN segment (paper: R2 = 37 / 35 / 21)")
+	rows, err := experiments.Fig4()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-8s %-10s %-8s %-8s %-8s %-10s %-12s\n",
+		"variant", "gdCycle", "R1", "R2", "R3", "paper R2", "analysed R2")
+	for _, r := range rows {
+		fmt.Printf("%-8v %-10v %-8v %-8v %-8v %-10v %-12v\n",
+			r.Variant, r.GdCycle, r.R1, r.R2, r.R3, r.PaperR2, r.AnalysedR2)
+	}
+}
+
+func fig7() {
+	header("Fig. 7 — Influence of DYN segment length on message response times")
+	series, err := experiments.Fig7(experiments.DefaultFig7Params())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-12s %-12s", "DYNbus(µs)", "gdCycle(µs)")
+	for _, n := range series.MessageNames {
+		fmt.Printf(" %10s", n)
+	}
+	fmt.Println()
+	for _, p := range series.Points {
+		fmt.Printf("%-12.1f %-12.1f", p.DYNBus.Us(), p.GdCycle.Us())
+		for _, r := range p.R {
+			fmt.Printf(" %10.0f", r.Us())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(expect the paper's U shape: responses fall, reach a minimum, then rise)")
+}
+
+func fig9(full bool) {
+	p := experiments.DefaultFig9Params()
+	if !full {
+		p = experiments.QuickFig9Params()
+		p.AppsPerSet = 5
+	}
+	header(fmt.Sprintf("Fig. 9 — Evaluation of bus optimisation algorithms (%d apps / node count)", p.AppsPerSet))
+	res, err := experiments.Fig9(p)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-8s %-6s %-14s %-12s %-10s %-12s\n",
+		"algo", "nodes", "avg %dev vs SA", "schedulable", "evals", "time")
+	for _, c := range res.Cells {
+		fmt.Printf("%-8s %-6d %-14.2f %d/%-10d %-10d %-12v\n",
+			c.Algorithm, c.Nodes, c.AvgDeviationPct, c.Schedulable, c.Total, c.Evaluations, c.TotalTime)
+	}
+	fmt.Println("\n(left panel: BBC deviates most and stops finding schedulable configs as nodes grow;")
+	fmt.Println(" right panel: BBC runs in ~zero time, OBC-CF well under OBC-EE)")
+}
+
+func ablation() {
+	header("Ablations — FrameID order, latest-transmission rule, fill solver")
+	rows, err := experiments.Ablations([]int64{1, 2, 3, 4, 5}, 3)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(experiments.AblationReport(rows))
+	fmt.Println("\n(paper choice = criticality FrameIDs / per-frame rule / greedy fill;")
+	fmt.Println(" alternatives are reversed FrameIDs / per-node pLatestTx / exact branch-and-bound)")
+}
+
+func cruiseStudy() {
+	header("Cruise controller case study (paper: BBC unschedulable; OBC-CF ≈ OBC-EE, much faster)")
+	rows, err := experiments.Cruise(core.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-8s %-12s %-14s %-8s %-12s\n", "algo", "schedulable", "cost", "evals", "time")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-12v %-14.1f %-8d %-12v\n",
+			r.Algorithm, r.Schedulable, r.Cost, r.Evaluations, r.Elapsed.Round(1000))
+	}
+}

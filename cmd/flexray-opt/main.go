@@ -1,0 +1,116 @@
+// flexray-opt optimises the FlexRay bus access configuration of a
+// system description so that all deadlines are met, using one of the
+// paper's four approaches.
+//
+// Usage:
+//
+//	flexray-gen -nodes 3 -seed 7 -o sys.json
+//	flexray-opt -algo obc-cf -in sys.json -out config.json
+//	flexray-opt -algo all -in sys.json            # comparison table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "system description JSON (required)")
+		out      = flag.String("out", "", "write the best configuration JSON here")
+		algo     = flag.String("algo", "obc-cf", "bbc | obc-cf | obc-ee | sa | all")
+		grid     = flag.Int("dyn-grid", 64, "dynamic-segment sweep grid points")
+		saIter   = flag.Int("sa-iterations", 2000, "simulated annealing iterations")
+		budget   = flag.Int("max-evaluations", 0, "evaluation budget per optimiser (0 = unlimited)")
+		slotCap  = flag.Int("slot-count-cap", 4, "static slot count cap as a multiple of the minimum")
+		lenSteps = flag.Int("slot-len-steps", 8, "static slot length steps explored")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "flexray-opt: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	sys, err := model.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.DYNGridCap = *grid
+	opts.SAIterations = *saIter
+	opts.MaxEvaluations = *budget
+	opts.SlotCountCap = *slotCap
+	opts.SlotLenSteps = *lenSteps
+
+	type algorithm struct {
+		name string
+		run  func() (*core.Result, error)
+	}
+	all := []algorithm{
+		{"bbc", func() (*core.Result, error) { return core.BBC(sys, opts) }},
+		{"obc-cf", func() (*core.Result, error) { return core.OBCCF(sys, opts) }},
+		{"obc-ee", func() (*core.Result, error) { return core.OBCEE(sys, opts) }},
+		{"sa", func() (*core.Result, error) { return core.SA(sys, opts) }},
+	}
+
+	var selected []algorithm
+	if *algo == "all" {
+		selected = all
+	} else {
+		for _, a := range all {
+			if a.name == strings.ToLower(*algo) {
+				selected = []algorithm{a}
+			}
+		}
+		if len(selected) == 0 {
+			fail(fmt.Errorf("unknown algorithm %q", *algo))
+		}
+	}
+
+	fmt.Printf("%-8s %-12s %-14s %-8s %-12s\n", "algo", "schedulable", "cost", "evals", "time")
+	var best *core.Result
+	for _, a := range selected {
+		res, err := a.run()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", a.name, err))
+		}
+		fmt.Printf("%-8s %-12v %-14.1f %-8d %-12v\n",
+			a.name, res.Schedulable, res.Cost, res.Evaluations, res.Elapsed.Round(1000))
+		if best == nil || res.Cost < best.Cost {
+			best = res
+		}
+	}
+	fmt.Printf("\nbest configuration: %v\n", best.Config)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := best.Config.WriteJSON(f, sys); err != nil {
+			fail(err)
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+	if !best.Schedulable {
+		os.Exit(1) // scripting-friendly: non-zero when unschedulable
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flexray-opt:", err)
+	os.Exit(1)
+}

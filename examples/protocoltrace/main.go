@@ -1,0 +1,59 @@
+// Protocoltrace prints a cycle-by-cycle bus trace of the paper's
+// Fig. 1 protocol example (three nodes, three static slots, five
+// dynamic slots, eight messages) and of the Fig. 4 dynamic-segment
+// scenarios, showing the FTDMA arbitration — minislots ticking by,
+// frames stretching their slots, and frames bumped to the next cycle by
+// the latest-transmission check.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexopt "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("=== Fig. 1: FlexRay communication cycle example ===")
+	trace, _, err := experiments.Fig1Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(trace)
+
+	fmt.Println("=== Fig. 4: dynamic segment scenarios ===")
+	rows, err := experiments.Fig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%v: gdCycle=%v  R1=%v R2=%v R3=%v (paper R2: %v)\n",
+			r.Variant, r.GdCycle, r.R1, r.R2, r.R3, r.PaperR2)
+	}
+
+	// Show the Fig. 4b scenario's dynamic trace in full detail.
+	sys := experiments.Fig4System()
+	cfg := experiments.Fig4Config(sys, experiments.Fig4b)
+	table, _, err := flexopt.BuildSchedule(sys, cfg, flexopt.DefaultSchedOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := flexopt.DefaultSimOptions()
+	opts.Trace = true
+	res, err := flexopt.Simulate(sys, cfg, table, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFig. 4b dynamic-segment trace:")
+	for _, e := range res.Trace {
+		if e.Cycle > 1 {
+			break
+		}
+		what := "minislot (unused)"
+		if len(e.Acts) > 0 {
+			what = "frame " + sys.App.Act(e.Acts[0]).Name
+		}
+		fmt.Printf("  cycle %d, DYN slot %d: [%-7v %-7v) %s\n", e.Cycle, e.Slot, e.Start, e.End, what)
+	}
+}

@@ -1,0 +1,187 @@
+package flexopt
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/cruise"
+	"repro/internal/flexray"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/units"
+)
+
+// Time and duration handling (integer nanoseconds).
+type (
+	// Duration is a span of simulated time in nanoseconds.
+	Duration = units.Duration
+	// Time is an absolute instant of simulated time.
+	Time = units.Time
+)
+
+// Common duration units.
+const (
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+)
+
+// Microseconds converts (possibly fractional) microseconds to a
+// Duration.
+func Microseconds(us float64) Duration { return units.Microseconds(us) }
+
+// Milliseconds converts (possibly fractional) milliseconds to a
+// Duration.
+func Milliseconds(ms float64) Duration { return units.Milliseconds(ms) }
+
+// Application model.
+type (
+	// System is an application mapped onto a platform of nodes
+	// connected by one FlexRay bus.
+	System = model.System
+	// Builder assembles systems programmatically.
+	Builder = model.Builder
+	// Activity is a task or message vertex of a task graph.
+	Activity = model.Activity
+	// ActID identifies an activity within a system.
+	ActID = model.ActID
+	// NodeID identifies a processing node.
+	NodeID = model.NodeID
+)
+
+// Scheduling policies and message classes.
+const (
+	// SCS marks static cyclic scheduled (time-triggered) tasks.
+	SCS = model.SCS
+	// FPS marks fixed-priority scheduled (event-triggered) tasks.
+	FPS = model.FPS
+	// ST marks static-segment messages.
+	ST = model.ST
+	// DYN marks dynamic-segment messages.
+	DYN = model.DYN
+)
+
+// NewBuilder starts a new system description with the given name and
+// number of nodes.
+func NewBuilder(name string, numNodes int) *Builder { return model.NewBuilder(name, numNodes) }
+
+// ReadSystem parses a system from its JSON interchange format.
+func ReadSystem(r io.Reader) (*System, error) { return model.ReadJSON(r) }
+
+// Bus configuration.
+type (
+	// Config is a complete FlexRay bus access configuration: the
+	// object the optimisers search for.
+	Config = flexray.Config
+	// BusParams are physical-layer constants (gdBit, macrotick).
+	BusParams = flexray.Params
+	// LatestTxPolicy selects the dynamic-segment admission rule.
+	LatestTxPolicy = flexray.LatestTxPolicy
+)
+
+// Latest-transmission policies.
+const (
+	// LatestTxPerFrame admits a dynamic frame iff it fits the
+	// remaining segment (the paper's Fig. 4 semantics; default).
+	LatestTxPerFrame = flexray.LatestTxPerFrame
+	// LatestTxPerNode uses the specification's per-node pLatestTx.
+	LatestTxPerNode = flexray.LatestTxPerNode
+)
+
+// DefaultBusParams returns a 10 Mbit/s channel with a 1 µs macrotick.
+func DefaultBusParams() BusParams { return flexray.DefaultParams() }
+
+// Optimisation.
+type (
+	// Options tune the optimisers; see DefaultOptions.
+	Options = core.Options
+	// Result is the outcome of an optimisation run.
+	Result = core.Result
+)
+
+// DefaultOptions returns the options used by the paper-reproduction
+// experiments.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// BBC computes the Basic Bus Configuration (paper Fig. 5).
+func BBC(sys *System, opts Options) (*Result, error) { return core.BBC(sys, opts) }
+
+// OBCCF runs the Optimised Bus Configuration heuristic with
+// curve-fitting dynamic-segment sizing (paper Fig. 6 + Fig. 8).
+func OBCCF(sys *System, opts Options) (*Result, error) { return core.OBCCF(sys, opts) }
+
+// OBCEE runs the OBC heuristic with exhaustive dynamic-segment
+// exploration.
+func OBCEE(sys *System, opts Options) (*Result, error) { return core.OBCEE(sys, opts) }
+
+// SA runs the simulated-annealing baseline explorer.
+func SA(sys *System, opts Options) (*Result, error) { return core.SA(sys, opts) }
+
+// AssignFrameIDs performs the criticality-driven unique FrameID
+// assignment of the paper's Fig. 5 line 1 (Eq. 4).
+func AssignFrameIDs(sys *System) (map[ActID]int, error) { return core.AssignFrameIDs(sys) }
+
+// Analysis and scheduling.
+type (
+	// ScheduleTable is the static schedule: SCS task start times and
+	// ST message slot assignments.
+	ScheduleTable = schedule.Table
+	// AnalysisResult carries worst-case response times, jitters and
+	// the Eq. (5) cost of one configuration.
+	AnalysisResult = analysis.Result
+	// SchedOptions tune the global scheduling algorithm.
+	SchedOptions = sched.Options
+)
+
+// BuildSchedule runs the global scheduling algorithm (paper Fig. 2) for
+// a fixed configuration and returns the schedule table plus the
+// holistic analysis of the resulting system.
+func BuildSchedule(sys *System, cfg *Config, opts SchedOptions) (*ScheduleTable, *AnalysisResult, error) {
+	return sched.Build(sys, cfg, opts)
+}
+
+// DefaultSchedOptions returns first-fit placement with default
+// analysis.
+func DefaultSchedOptions() SchedOptions { return sched.DefaultOptions() }
+
+// Simulation.
+type (
+	// SimOptions tune the discrete-event simulation.
+	SimOptions = sim.Options
+	// SimResult aggregates observed response times and the bus
+	// trace.
+	SimResult = sim.Result
+	// TraceEvent is one bus-level occurrence of the trace.
+	TraceEvent = sim.TraceEvent
+)
+
+// DefaultSimOptions simulates one hyper-period with a generous drain.
+func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
+
+// Simulate runs the discrete-event simulator for a configured system.
+func Simulate(sys *System, cfg *Config, table *ScheduleTable, opts SimOptions) (*SimResult, error) {
+	s, err := sim.New(sys, cfg, table, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Workload generation.
+type GenParams = synth.Params
+
+// DefaultGenParams returns the paper's Section 7 population parameters
+// for the given node count and seed.
+func DefaultGenParams(nodes int, seed int64) GenParams { return synth.DefaultParams(nodes, seed) }
+
+// Generate builds one random system from the Section 7 population.
+func Generate(p GenParams) (*System, error) { return synth.Generate(p) }
+
+// CruiseController returns the paper's real-life case study: 54 tasks
+// and 26 messages in 4 task graphs over 5 nodes.
+func CruiseController() (*System, error) { return cruise.System() }

@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flexray"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/units"
+)
+
+const (
+	us = units.Microsecond
+	ms = units.Millisecond
+)
+
+func actID(t testing.TB, sys *model.System, name string) model.ActID {
+	t.Helper()
+	for i := range sys.App.Acts {
+		if sys.App.Acts[i].Name == name {
+			return sys.App.Acts[i].ID
+		}
+	}
+	t.Fatalf("no activity %q", name)
+	return model.None
+}
+
+// fig4System rebuilds the paper's Fig. 4 scenario directly against the
+// analysis: N1 sends m1 (7 minislots, high priority) and m3 (3), N2
+// sends m2 (6); ST segment one 8µs slot; minislot 1µs.
+func fig4System(t testing.TB) (*model.System, *flexray.Config) {
+	t.Helper()
+	b := model.NewBuilder("fig4-ana", 2)
+	g := b.Graph("G", 200*us, 200*us)
+	t1 := b.Task(g, "t1", 0, 0, model.SCS)
+	t3 := b.Task(g, "t3", 0, 0, model.SCS)
+	t2 := b.Task(g, "t2", 1, 0, model.SCS)
+	r1 := b.PrioTask(g, "r1", 1, 0, 1)
+	r3 := b.PrioTask(g, "r3", 1, 0, 1)
+	r2 := b.PrioTask(g, "r2", 0, 0, 1)
+	b.Message("m1", model.DYN, 7*us, t1, r1, 10)
+	b.Message("m2", model.DYN, 6*us, t2, r2, 5)
+	b.Message("m3", model.DYN, 3*us, t3, r3, 1)
+	sys := b.MustBuild()
+	cfg := &flexray.Config{
+		StaticSlotLen:   8 * us,
+		NumStaticSlots:  1,
+		StaticSlotOwner: []model.NodeID{0},
+		MinislotLen:     us,
+		NumMinislots:    12,
+		FrameID: map[model.ActID]int{
+			actID(t, sys, "m1"): 1,
+			actID(t, sys, "m2"): 2,
+			actID(t, sys, "m3"): 3,
+		},
+		Policy: flexray.LatestTxPerFrame,
+	}
+	return sys, cfg
+}
+
+func newAnalyzer(t testing.TB, sys *model.System, cfg *flexray.Config) *Analyzer {
+	t.Helper()
+	table := schedule.New(cfg, sys.App.HyperPeriod())
+	return New(sys, cfg, table, DefaultOptions())
+}
+
+func TestFillNeedPerFrame(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	// m2: fid 2, size 6, n=12: blocked iff E >= 12-6-2+2 = 6.
+	if got := a.fillNeed(sys.App.Act(actID(t, sys, "m2"))); got != 6 {
+		t.Errorf("fillNeed(m2) = %d, want 6", got)
+	}
+	// m1: fid 1, size 7: need = 12-7-1+2 = 6.
+	if got := a.fillNeed(sys.App.Act(actID(t, sys, "m1"))); got != 6 {
+		t.Errorf("fillNeed(m1) = %d, want 6", got)
+	}
+}
+
+func TestFillNeedPerNode(t *testing.T) {
+	sys, cfg := fig4System(t)
+	cfg.Policy = flexray.LatestTxPerNode
+	a := newAnalyzer(t, sys, cfg)
+	// Node 0's largest frame is m1 (7): pLatestTx = 12-7+1 = 6. For
+	// m3 (fid 3): need = 6-3+1 = 4.
+	if got := a.fillNeed(sys.App.Act(actID(t, sys, "m3"))); got != 4 {
+		t.Errorf("fillNeed(m3, per-node) = %d, want 4", got)
+	}
+}
+
+func TestDynEnvSets(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	m2 := sys.App.Act(actID(t, sys, "m2"))
+	env := a.dynEnv(m2, 2, a.fillNeed(m2))
+	if len(env.hp) != 0 {
+		t.Errorf("hp(m2) = %v, want empty (unique FrameIDs)", env.hp)
+	}
+	// lf(m2) = {m1} (fid 1 < 2), grouped by FrameID; m1 contributes
+	// 6 extra minislots.
+	if len(env.lfGroups) != 1 || len(env.lfGroups[0]) != 1 {
+		t.Fatalf("lfGroups(m2) = %+v, want one group of one", env.lfGroups)
+	}
+	if got := env.lfGroups[0][0].extra; got != 6 {
+		t.Errorf("extra(m1) = %d, want 6 (size 7 - 1)", got)
+	}
+}
+
+func TestDynEnvSharedFrameID(t *testing.T) {
+	sys, cfg := fig4System(t)
+	// Table A of Fig. 4: m3 shares FrameID 1 with the
+	// higher-priority m1.
+	cfg.FrameID[actID(t, sys, "m3")] = 1
+	a := newAnalyzer(t, sys, cfg)
+	m3 := sys.App.Act(actID(t, sys, "m3"))
+	env := a.dynEnv(m3, 1, a.fillNeed(m3))
+	if len(env.hp) != 1 || env.hp[0] != actID(t, sys, "m1") {
+		t.Errorf("hp(m3) = %v, want [m1]", env.hp)
+	}
+	if len(env.lfGroups) != 0 {
+		t.Errorf("lf(m3) = %+v, want empty (fid 1 has no lower slots)", env.lfGroups)
+	}
+}
+
+func TestDynResponseBoundsFig4(t *testing.T) {
+	// The analysis bound must dominate the exact simulated responses
+	// of Fig. 4b (35µs for m2) while staying finite and sane.
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	m2 := actID(t, sys, "m2")
+	if res.R[m2] < 35*us {
+		t.Errorf("R(m2) = %v, below the simulated response 35µs", res.R[m2])
+	}
+	if res.R[m2] > 200*us {
+		t.Errorf("R(m2) = %v, absurdly above one period", res.R[m2])
+	}
+	// m1 has the lowest FrameID, no hp, no lf: its worst case is one
+	// missed cycle (sigma = 20-8-0 = 12) plus w' (8) plus C (7).
+	m1 := actID(t, sys, "m1")
+	if got, want := res.R[m1], 27*us; got != want {
+		t.Errorf("R(m1) = %v, want exactly %v (sigma+w'+C)", got, want)
+	}
+}
+
+func TestDynResponseMissingFrameIDSaturates(t *testing.T) {
+	sys, cfg := fig4System(t)
+	delete(cfg.FrameID, actID(t, sys, "m2"))
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	m2 := actID(t, sys, "m2")
+	if res.R[m2] < sys.App.Deadline(m2) {
+		t.Errorf("R(m2) without FrameID = %v, want saturation above deadline", res.R[m2])
+	}
+	if res.Schedulable {
+		t.Error("system with untransmittable message reported schedulable")
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %v, want positive", res.Cost)
+	}
+}
+
+func TestCostFunctionSigns(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	if !res.Schedulable {
+		t.Fatalf("Fig. 4 system should be schedulable with 200µs deadlines: %v", res.Violations)
+	}
+	if res.Cost >= 0 {
+		t.Errorf("schedulable system must have cost < 0 (f2 = sum of slacks), got %v", res.Cost)
+	}
+	// Tighten every deadline to force f1 > 0.
+	for g := range sys.App.Graphs {
+		sys.App.Graphs[g].Deadline = 10 * us
+	}
+	res = newAnalyzer(t, sys, cfg).Run()
+	if res.Schedulable || res.Cost <= 0 {
+		t.Errorf("tight system: schedulable=%v cost=%v, want infeasible positive",
+			res.Schedulable, res.Cost)
+	}
+}
+
+func TestInstancesJitterTerm(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := &Result{J: map[model.ActID]units.Duration{}}
+	m1 := actID(t, sys, "m1")
+	// Window of one period, no jitter: exactly one activation.
+	if got := a.instances(m1, 200*us, res); got != 1 {
+		t.Errorf("instances(T, J=0) = %d, want 1", got)
+	}
+	// Window epsilon short of two periods.
+	if got := a.instances(m1, 399*us, res); got != 2 {
+		t.Errorf("instances(2T-eps) = %d, want 2", got)
+	}
+	// Jitter adds activations.
+	res.J[m1] = 200 * us
+	if got := a.instances(m1, 200*us, res); got != 2 {
+		t.Errorf("instances(T, J=T) = %d, want 2", got)
+	}
+}
+
+// TestGreedyFillNeverExceedsExact: the greedy heuristic produces a
+// realisable filling, so the exact branch-and-bound maximum must always
+// dominate it.
+func TestGreedyFillNeverExceedsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nGroups := 1 + rng.Intn(4)
+		env := &dynEnv{need: 1 + rng.Intn(8)}
+		budgets := make([][]int64, nGroups)
+		for g := 0; g < nGroups; g++ {
+			nItems := 1 + rng.Intn(3)
+			var items []lfItem
+			for i := 0; i < nItems; i++ {
+				items = append(items, lfItem{model.ActID(g*10 + i), 1 + rng.Intn(6)})
+			}
+			// Groups are kept sorted by extra descending, as
+			// dynEnv builds them.
+			for i := 1; i < len(items); i++ {
+				for j := i; j > 0 && items[j].extra > items[j-1].extra; j-- {
+					items[j], items[j-1] = items[j-1], items[j]
+				}
+			}
+			env.lfGroups = append(env.lfGroups, items)
+			budgets[g] = make([]int64, nItems)
+			for i := range budgets[g] {
+				budgets[g][i] = int64(rng.Intn(4))
+			}
+		}
+		exact, complete := exactFill(env, budgets, 500000)
+		if !complete {
+			continue
+		}
+		bcopy := make([][]int64, len(budgets))
+		for i := range budgets {
+			bcopy[i] = append([]int64(nil), budgets[i]...)
+		}
+		greedy := greedyFill(env, bcopy)
+		if greedy > exact {
+			t.Fatalf("trial %d: greedy fill %d exceeds exact maximum %d (need %d, groups %+v, budgets %+v)",
+				trial, greedy, exact, env.need, env.lfGroups, budgets)
+		}
+	}
+}
+
+func TestExactFillHandComputed(t *testing.T) {
+	// Two groups: group A has one item of extra 3 (budget 2), group
+	// B one item of extra 2 (budget 1). Need 5: only one cycle can
+	// be filled (A+B); a second cycle has only A (3 < 5).
+	env := &dynEnv{
+		need: 5,
+		lfGroups: [][]lfItem{
+			{{1, 3}},
+			{{2, 2}},
+		},
+	}
+	budgets := [][]int64{{2}, {1}}
+	got, ok := exactFill(env, budgets, 100000)
+	if !ok || got != 1 {
+		t.Errorf("exactFill = %d (ok=%v), want 1", got, ok)
+	}
+	// With need 3, group A alone fills a cycle: 2 cycles from A's
+	// budget plus... B alone is 2 < 3, so exactly 2.
+	env.need = 3
+	got, ok = exactFill(env, [][]int64{{2}, {1}}, 100000)
+	if !ok || got != 2 {
+		t.Errorf("exactFill(need 3) = %d (ok=%v), want 2", got, ok)
+	}
+	// Combining B with one A (3+2=5) wastes budget; exact should
+	// still find 2.
+}
+
+func TestLeftoverExtrasStaysBelowNeed(t *testing.T) {
+	env := &dynEnv{
+		need: 4,
+		lfGroups: [][]lfItem{
+			{{1, 3}},
+			{{2, 2}},
+		},
+	}
+	budgets := [][]int64{{1}, {1}}
+	// Max extras strictly below 4: 3 (taking both would reach 5,
+	// capped; greedy takes 3 then cannot add 2 without exceeding 3).
+	if got := leftoverExtras(env, budgets); got != 3 {
+		t.Errorf("leftoverExtras = %d, want 3", got)
+	}
+	// Nothing available.
+	if got := leftoverExtras(env, [][]int64{{0}, {0}}); got != 0 {
+		t.Errorf("leftoverExtras(empty) = %d, want 0", got)
+	}
+}
+
+func TestHigherPriorityFPSOrdering(t *testing.T) {
+	b := model.NewBuilder("prio", 2)
+	g := b.Graph("g", 10*ms, 10*ms)
+	lo := b.PrioTask(g, "lo", 0, 100*us, 1)
+	mid := b.PrioTask(g, "mid", 0, 100*us, 5)
+	hi := b.PrioTask(g, "hi", 0, 100*us, 9)
+	other := b.PrioTask(g, "other", 1, 100*us, 9)
+	_ = other
+	sys := b.MustBuild()
+	cfg := &flexray.Config{MinislotLen: us, FrameID: map[model.ActID]int{}}
+	a := newAnalyzer(t, sys, cfg)
+	if got := a.HigherPriorityFPS(hi); len(got) != 0 {
+		t.Errorf("hp(hi) = %v, want empty", got)
+	}
+	if got := a.HigherPriorityFPS(mid); len(got) != 1 || got[0] != hi {
+		t.Errorf("hp(mid) = %v, want [hi]", got)
+	}
+	if got := a.HigherPriorityFPS(lo); len(got) != 2 {
+		t.Errorf("hp(lo) = %v, want [hi mid]", got)
+	}
+}
+
+func TestFPSResponseWithInterferenceAndBlackouts(t *testing.T) {
+	// One node; SCS reservation [0,1ms) every 10ms; two FPS tasks:
+	// hi (C=1ms, T=10ms), lo (C=2ms, T=10ms). Critical instant at
+	// the blackout start: lo waits 1ms blackout + 1ms hi + 2ms own
+	// = 4ms.
+	b := model.NewBuilder("fps", 2)
+	g := b.Graph("g", 10*ms, 10*ms)
+	scs := b.Task(g, "scs", 0, 1*ms, model.SCS)
+	hi := b.PrioTask(g, "hi", 0, 1*ms, 9)
+	lo := b.PrioTask(g, "lo", 0, 2*ms, 1)
+	peer := b.PrioTask(g, "peer", 1, 100*us, 1)
+	_ = scs
+	_ = peer
+	sys := b.MustBuild()
+	cfg := &flexray.Config{MinislotLen: us, FrameID: map[model.ActID]int{}}
+	table := schedule.New(cfg, sys.App.HyperPeriod())
+	if err := table.PlaceTask(scs, 0, 0, 0, 1*ms); err != nil {
+		t.Fatal(err)
+	}
+	a := New(sys, cfg, table, DefaultOptions())
+	res := a.Run()
+	if got := res.R[hi]; got != 2*ms {
+		t.Errorf("R(hi) = %v, want 2ms (blackout + own C)", got)
+	}
+	if got := res.R[lo]; got != 4*ms {
+		t.Errorf("R(lo) = %v, want 4ms (blackout + hi + own C)", got)
+	}
+}
+
+func TestJitterPropagationAlongChain(t *testing.T) {
+	// e1 -> m -> e2: e2's release jitter equals m's response, and
+	// R(e2) = J(e2) + C(e2) with an otherwise empty system.
+	b := model.NewBuilder("chain", 2)
+	g := b.Graph("g", 10*ms, 10*ms)
+	e1 := b.PrioTask(g, "e1", 0, 100*us, 2)
+	e2 := b.PrioTask(g, "e2", 1, 200*us, 1)
+	m := b.Message("m", model.DYN, 50*us, e1, e2, 1)
+	sys := b.MustBuild()
+	cfg := &flexray.Config{
+		StaticSlotLen: 0, NumStaticSlots: 0, StaticSlotOwner: []model.NodeID{},
+		MinislotLen: 10 * us, NumMinislots: 50,
+		FrameID: map[model.ActID]int{m: 1},
+	}
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	if res.J[m] != res.R[e1] {
+		t.Errorf("J(m) = %v, want R(e1) = %v", res.J[m], res.R[e1])
+	}
+	if res.J[e2] != res.R[m] {
+		t.Errorf("J(e2) = %v, want R(m) = %v", res.J[e2], res.R[m])
+	}
+	if got, want := res.R[e2], res.R[m]+200*us; got != want {
+		t.Errorf("R(e2) = %v, want %v", got, want)
+	}
+	if got := res.R[e1]; got != 100*us {
+		t.Errorf("R(e1) = %v, want 100µs", got)
+	}
+}
+
+// TestMoreInterferenceNeverHelps: adding a lower-FrameID message can
+// only increase (never decrease) the analysed response of an existing
+// message.
+func TestMoreInterferenceNeverHelps(t *testing.T) {
+	build := func(withExtra bool) units.Duration {
+		b := model.NewBuilder("mono", 2)
+		g := b.Graph("g", 10*ms, 10*ms)
+		e1 := b.PrioTask(g, "e1", 0, 100*us, 2)
+		e2 := b.PrioTask(g, "e2", 1, 100*us, 1)
+		b.Message("m", model.DYN, 50*us, e1, e2, 1)
+		fid := map[model.ActID]int{}
+		if withExtra {
+			x1 := b.PrioTask(g, "x1", 1, 100*us, 3)
+			x2 := b.PrioTask(g, "x2", 0, 100*us, 3)
+			mx := b.Message("mx", model.DYN, 80*us, x1, x2, 2)
+			fid[mx] = 1
+		}
+		sys := b.MustBuild()
+		mID := actID(t, sys, "m")
+		fid[mID] = 2
+		cfg := &flexray.Config{
+			MinislotLen: 10 * us, NumMinislots: 30,
+			FrameID: fid,
+		}
+		a := newAnalyzer(t, sys, cfg)
+		return a.Run().R[mID]
+	}
+	without := build(false)
+	with := build(true)
+	if with < without {
+		t.Errorf("interference decreased response: %v -> %v", without, with)
+	}
+}
+
+func TestExactFillOptionAgreesOrDominatesGreedy(t *testing.T) {
+	sys, cfg := fig4System(t)
+	optsExact := DefaultOptions()
+	optsExact.ExactFill = true
+	table := schedule.New(cfg, sys.App.HyperPeriod())
+	exact := New(sys, cfg, table, optsExact).Run()
+	greedy := New(sys, cfg, table, DefaultOptions()).Run()
+	for _, m := range sys.App.Messages(int(model.DYN)) {
+		if exact.R[m] < greedy.R[m] {
+			t.Errorf("message %d: exact R %v below greedy R %v", m, exact.R[m], greedy.R[m])
+		}
+	}
+}
+
+func TestNonConvergentSystemReportedUnschedulable(t *testing.T) {
+	// Saturating utilisation: an FPS task with C close to T plus a
+	// same-priority-band interferer drives the window past the cap.
+	b := model.NewBuilder("sat", 2)
+	g := b.Graph("g", 1*ms, 1*ms)
+	hi := b.PrioTask(g, "hi", 0, 900*us, 9)
+	lo := b.PrioTask(g, "lo", 0, 900*us, 1)
+	peer := b.PrioTask(g, "peer", 1, 10*us, 1)
+	_, _, _ = hi, lo, peer
+	sys := b.MustBuild()
+	cfg := &flexray.Config{MinislotLen: us, FrameID: map[model.ActID]int{}}
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	if res.Schedulable {
+		t.Error("180% utilisation node reported schedulable")
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %v, want positive", res.Cost)
+	}
+}

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/flexray"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// dynResponse computes the worst-case response time of a DYN message
+// per Section 5.1:
+//
+//	Rm = Jm + wm + Cm                                   (Eq. 2)
+//	wm = σm + BusCyclesm(t)·gdCycle + w'm(t)            (Eq. 3)
+//
+// σm is the longest in-cycle delay when the message becomes ready just
+// after its slot has passed; BusCyclesm counts the "filled" bus cycles
+// in which transmission is impossible (higher-priority local messages
+// occupying the slot, or lower-FrameID interference pushing the
+// minislot counter past the latest transmission start); w'm is the
+// delay inside the final cycle until transmission starts.
+func (a *Analyzer) dynResponse(act *model.Activity, jitter units.Duration, res *Result) units.Duration {
+	fid, ok := a.cfg.FrameID[act.ID]
+	if !ok || a.cfg.NumMinislots <= 0 {
+		// No FrameID or no dynamic segment: the message can never
+		// be transmitted under this configuration.
+		return a.cap(act.ID)
+	}
+	need := a.fillNeed(act)
+	if need <= 0 {
+		// Even an empty dynamic segment blocks the frame (it can
+		// never fit): permanently filled.
+		return a.cap(act.ID)
+	}
+
+	env, ok := a.envCache[act.ID]
+	if !ok {
+		env = a.dynEnv(act, fid, need)
+		a.envCache[act.ID] = env
+	}
+	bound := a.cap(act.ID)
+	cycle := a.cfg.Cycle()
+	msLen := a.cfg.MinislotLen
+
+	// σm: the message misses its earliest possible slot start in the
+	// arrival cycle and waits for the cycle to end. The earliest slot
+	// start is STbus + (fid-1) empty minislots into the cycle.
+	sigma := cycle - a.cfg.STBus() - units.Duration(fid-1)*msLen
+
+	// Fixpoint of Eq. (3): t is the window over which interfering
+	// instances are counted.
+	t := units.Duration(0)
+	var w units.Duration
+	for iter := 0; iter < 10000; iter++ {
+		filled, leftover := a.fillCycles(env, t, res)
+		wPrime := a.cfg.STBus() + units.Duration(fid-1+leftover)*msLen
+		w = units.SatAdd(sigma, units.SatAdd(units.Duration(filled)*cycle, wPrime))
+		if w > bound {
+			return bound
+		}
+		if w <= t {
+			break
+		}
+		t = w
+	}
+	return units.SatAdd(jitter, units.SatAdd(w, act.C))
+}
+
+// fillNeed returns the number of *extra* minislots (beyond the one
+// minislot every lower slot consumes when empty) that lower-FrameID
+// interference must contribute in a cycle to push the message past its
+// latest transmission start. A cycle is "filled" by interference iff
+// the extras reach this value (condition 1 of Section 5.1).
+func (a *Analyzer) fillNeed(act *model.Activity) int {
+	fid := a.cfg.FrameID[act.ID]
+	switch a.cfg.Policy {
+	case flexray.LatestTxPerNode:
+		// Blocked iff counter fid+E > pLatestTx.
+		return a.cfg.PLatestTx(&a.sys.App, act.Node) - fid + 1
+	default:
+		// Blocked iff fid+E+s-1 > NumMinislots.
+		s := a.cfg.SizeInMinislots(act.C)
+		return a.cfg.NumMinislots - s - fid + 2
+	}
+}
+
+// dynEnv gathers the interference environment of one message: the
+// higher-priority local messages sharing its FrameID (hp(m)) and the
+// lower-FrameID messages (lf(m)) grouped per FrameID. Unused lower
+// slots (ms(m)) are implicit: every FrameID below fid costs one
+// minislot per cycle whether used or not, which is why only the
+// *extra* minislots of actual transmissions matter for filling.
+type dynEnv struct {
+	act  *model.Activity
+	need int
+	hp   []model.ActID
+	// lf items grouped by FrameID: per cycle at most one message per
+	// FrameID can transmit, so at most one item per group counts
+	// towards a given cycle.
+	lfGroups [][]lfItem
+	// cands is a scratch buffer reused by pickCycle (one slot per
+	// group).
+	cands []pick
+}
+
+type lfItem struct {
+	id    model.ActID
+	extra int // SizeInMinislots - 1
+}
+
+func (a *Analyzer) dynEnv(act *model.Activity, fid, need int) *dynEnv {
+	app := &a.sys.App
+	env := &dynEnv{act: act, need: need}
+	groups := map[int][]lfItem{}
+	for _, m := range a.dynMsgs {
+		if m == act.ID {
+			continue
+		}
+		other := app.Act(m)
+		ofid := a.cfg.FrameID[m]
+		switch {
+		case ofid == fid:
+			// Same FrameID: same node by construction; the higher
+			// priority message occupies the slot (hp(m)).
+			if other.Priority > act.Priority ||
+				(other.Priority == act.Priority && m < act.ID) {
+				env.hp = append(env.hp, m)
+			}
+		case ofid < fid:
+			if e := a.cfg.SizeInMinislots(other.C) - 1; e > 0 {
+				groups[ofid] = append(groups[ofid], lfItem{m, e})
+			}
+		}
+	}
+	fids := make([]int, 0, len(groups))
+	for f := range groups {
+		fids = append(fids, f)
+	}
+	sort.Ints(fids)
+	for _, f := range fids {
+		g := groups[f]
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].extra != g[j].extra {
+				return g[i].extra > g[j].extra
+			}
+			return g[i].id < g[j].id
+		})
+		env.lfGroups = append(env.lfGroups, g)
+	}
+	return env
+}
+
+// instances returns how many activations of message m can fall inside a
+// window of length t, given its inherited jitter (the standard
+// ceil((t+J)/T) term).
+func (a *Analyzer) instances(m model.ActID, t units.Duration, res *Result) int64 {
+	period := a.sys.App.Period(m)
+	j := res.J[m]
+	n := units.CeilDiv(int64(t)+int64(j), int64(period))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// fillCycles returns the worst-case number of bus cycles that
+// interference can fill within a window of length t (BusCyclesm(t)),
+// plus the largest number of extra minislots the leftover interference
+// can still place before the message's slot in the final, non-filled
+// cycle (the w'm component).
+//
+// Filling through lower FrameIDs is a bin-covering problem: each filled
+// cycle needs `need` extra minislots contributed by distinct-FrameID
+// messages; each hp(m) instance fills one cycle outright. The default
+// solver is the polynomial greedy heuristic; Options.ExactFill enables
+// the branch-and-bound of ref [14] (with fallback when the search
+// explodes).
+func (a *Analyzer) fillCycles(env *dynEnv, t units.Duration, res *Result) (filled int64, leftover int) {
+	// hp(m): every instance occupies the slot for one whole cycle.
+	var hpFill int64
+	for _, m := range env.hp {
+		hpFill += a.instances(m, t, res)
+	}
+
+	// Budgets for lf items within the window.
+	budgets := make([][]int64, len(env.lfGroups))
+	for gi, g := range env.lfGroups {
+		budgets[gi] = make([]int64, len(g))
+		for ii, it := range g {
+			budgets[gi][ii] = a.instances(it.id, t, res)
+		}
+	}
+
+	var lfFill int64
+	if a.opts.ExactFill {
+		var exact bool
+		lfFill, exact = exactFill(env, budgets, a.opts.FillNodeCap)
+		if !exact {
+			lfFill = greedyFill(env, budgets)
+		}
+	} else {
+		lfFill = greedyFill(env, budgets)
+	}
+
+	// Leftover: maximise extras in the final cycle without reaching
+	// `need` (the message still transmits, as late as possible).
+	leftover = leftoverExtras(env, budgets)
+	return hpFill + lfFill, leftover
+}
+
+// greedyFill fills cycles one at a time. For each cycle it picks, from
+// each FrameID group in descending-extra order, the largest-extra item
+// with remaining budget until the need is met, then greedily swaps the
+// last pick for the smallest item that still meets the need (saving
+// large extras for later cycles). Budgets are consumed in place.
+func greedyFill(env *dynEnv, budgets [][]int64) int64 {
+	var filled int64
+	for {
+		picks, total := pickCycle(env, budgets)
+		if total < env.need {
+			return filled
+		}
+		for _, p := range picks {
+			budgets[p.gi][p.ii]--
+		}
+		filled++
+	}
+}
+
+type pick struct {
+	gi, ii int
+	extra  int
+}
+
+// pickCycle selects at most one budgeted item per FrameID group,
+// preferring large extras, stopping once the need is reached; it then
+// minimises the final pick. It returns the picks and their total.
+func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
+	// Candidate per group: the largest-extra item with budget left
+	// (groups are sorted by extra descending).
+	cands := env.cands[:0]
+	for gi, g := range env.lfGroups {
+		for ii, it := range g {
+			if budgets[gi][ii] > 0 {
+				cands = append(cands, pick{gi, ii, it.extra})
+				break
+			}
+		}
+	}
+	env.cands = cands
+	sort.Slice(cands, func(i, j int) bool { return cands[i].extra > cands[j].extra })
+
+	var picks []pick
+	total := 0
+	for _, c := range cands {
+		if total >= env.need {
+			break
+		}
+		picks = append(picks, c)
+		total += c.extra
+	}
+	if total < env.need {
+		return nil, total
+	}
+	// Swap the last pick for the smallest same-group item that still
+	// meets the need, to preserve large extras.
+	last := &picks[len(picks)-1]
+	base := total - last.extra
+	g := env.lfGroups[last.gi]
+	for ii := len(g) - 1; ii > last.ii; ii-- {
+		if budgets[last.gi][ii] > 0 && base+g[ii].extra >= env.need {
+			total = base + g[ii].extra
+			last.ii, last.extra = ii, g[ii].extra
+			break
+		}
+	}
+	return picks, total
+}
+
+// leftoverExtras maximises the extra minislots placed in the final
+// cycle while staying strictly below the need (one item per group at
+// most). Greedy descending with cap; this lower-bounds the adversary's
+// true optimum but is exact whenever a single group dominates, and the
+// result is additionally capped at need-1 which is the analytical
+// maximum.
+func leftoverExtras(env *dynEnv, budgets [][]int64) int {
+	cap := env.need - 1
+	total := 0
+	for gi, g := range env.lfGroups {
+		for ii, it := range g {
+			if budgets[gi][ii] <= 0 {
+				continue
+			}
+			if total+it.extra <= cap {
+				total += it.extra
+				break // one item per FrameID group
+			}
+		}
+	}
+	if total > cap {
+		total = cap
+	}
+	return total
+}
+
+// exactFill maximises the number of filled cycles by branch and bound:
+// at each step it either closes a cycle using a subset of
+// distinct-group items meeting the need, or stops. The state space is
+// pruned with the fractional upper bound total/need. Returns
+// (best, true) on completion, or (partial, false) once the node budget
+// is exhausted.
+func exactFill(env *dynEnv, budgets [][]int64, nodeCap int) (int64, bool) {
+	// Work on a copy: the caller reuses budgets for leftovers.
+	b := make([][]int64, len(budgets))
+	for i := range budgets {
+		b[i] = append([]int64(nil), budgets[i]...)
+	}
+	nodes := 0
+	var best int64
+	exact := true
+
+	var totalExtras func() int64
+	totalExtras = func() int64 {
+		var s int64
+		for gi, g := range env.lfGroups {
+			for ii, it := range g {
+				s += b[gi][ii] * int64(it.extra)
+			}
+		}
+		return s
+	}
+
+	var fill func(done int64)
+	fill = func(done int64) {
+		if done > best {
+			best = done
+		}
+		nodes++
+		if nodes > nodeCap {
+			exact = false
+			return
+		}
+		// Upper bound: even fractional packing cannot beat this.
+		if ub := done + totalExtras()/int64(env.need); ub <= best {
+			return
+		}
+		// Enumerate maximal distinct-group subsets meeting the
+		// need. To bound branching, only the per-group choice of
+		// "which item" matters; we recurse over groups.
+		var choose func(gi, sum int, picks []pick)
+		choose = func(gi, sum int, picks []pick) {
+			if nodes > nodeCap {
+				exact = false
+				return
+			}
+			if sum >= env.need {
+				for _, p := range picks {
+					b[p.gi][p.ii]--
+				}
+				fill(done + 1)
+				for _, p := range picks {
+					b[p.gi][p.ii]++
+				}
+				return
+			}
+			if gi >= len(env.lfGroups) {
+				return
+			}
+			// Skip this group.
+			choose(gi+1, sum, picks)
+			// Or take one of its budgeted items (distinct extras
+			// only; identical extras are symmetric).
+			seen := -1
+			for ii, it := range env.lfGroups[gi] {
+				if b[gi][ii] <= 0 || it.extra == seen {
+					continue
+				}
+				seen = it.extra
+				nodes++
+				choose(gi+1, sum+it.extra, append(picks, pick{gi, ii, it.extra}))
+			}
+		}
+		choose(0, 0, nil)
+	}
+	fill(0)
+	return best, exact
+}

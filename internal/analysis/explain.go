@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// DYNDelay decomposes the worst-case response time of a DYN message
+// into the terms of Eq. (2)-(3):
+//
+//	Rm = Jm + [ σm + BusCyclesm·gdCycle + w'm ] + Cm
+//
+// The breakdown explains *why* a message is late — inherited jitter,
+// a missed slot in the arrival cycle, cycles filled by interference, or
+// in-cycle delay before its slot — which is what a designer needs when
+// choosing between a larger dynamic segment, a smaller FrameID or a
+// higher priority.
+type DYNDelay struct {
+	Msg model.ActID
+	// Jitter is Jm: the worst-case completion of the sender task.
+	Jitter units.Duration
+	// Sigma is σm: the delay in the arrival cycle when the message
+	// just misses its slot.
+	Sigma units.Duration
+	// BusCycles is BusCyclesm: full cycles filled by hp(m), lf(m)
+	// and ms(m) interference.
+	BusCycles int64
+	// CycleLen is gdCycle.
+	CycleLen units.Duration
+	// WPrime is w'm: the delay inside the final cycle until
+	// transmission starts.
+	WPrime units.Duration
+	// Comm is Cm, the transmission time.
+	Comm units.Duration
+	// Response is the total: Jitter+Sigma+BusCycles*CycleLen+WPrime+Comm,
+	// capped at the divergence bound for unschedulable messages.
+	Response units.Duration
+	// Saturated reports that the fixpoint hit the divergence cap and
+	// the breakdown describes the last iterate, not a converged
+	// worst case.
+	Saturated bool
+}
+
+// String renders the decomposition compactly.
+func (d DYNDelay) String() string {
+	sat := ""
+	if d.Saturated {
+		sat = " (saturated)"
+	}
+	return fmt.Sprintf("R=%v = J %v + σ %v + %d×%v + w' %v + C %v%s",
+		d.Response, d.Jitter, d.Sigma, d.BusCycles, d.CycleLen, d.WPrime, d.Comm, sat)
+}
+
+// ExplainDYN recomputes the response time of one DYN message with the
+// converged jitters of a finished analysis and returns the Eq. (3)
+// breakdown. The second return value is false if the activity is not a
+// DYN message or has no FrameID.
+func (a *Analyzer) ExplainDYN(m model.ActID, res *Result) (DYNDelay, bool) {
+	act := a.sys.App.Act(m)
+	if !act.IsMessage() || act.Class != model.DYN {
+		return DYNDelay{}, false
+	}
+	fid, ok := a.cfg.FrameID[m]
+	if !ok || a.cfg.NumMinislots <= 0 {
+		return DYNDelay{}, false
+	}
+	need := a.fillNeed(act)
+	if need <= 0 {
+		return DYNDelay{
+			Msg: m, Jitter: res.J[m], Comm: act.C,
+			Response: a.cap(m), Saturated: true,
+		}, true
+	}
+	env, cached := a.envCache[m]
+	if !cached {
+		env = a.dynEnv(act, fid, need)
+		a.envCache[m] = env
+	}
+	cycle := a.cfg.Cycle()
+	msLen := a.cfg.MinislotLen
+	sigma := cycle - a.cfg.STBus() - units.Duration(fid-1)*msLen
+	bound := a.cap(m)
+
+	d := DYNDelay{
+		Msg: m, Jitter: res.J[m],
+		Sigma: sigma, CycleLen: cycle, Comm: act.C,
+	}
+	t := units.Duration(0)
+	for iter := 0; iter < 10000; iter++ {
+		filled, leftover := a.fillCycles(env, t, res)
+		wPrime := a.cfg.STBus() + units.Duration(fid-1+leftover)*msLen
+		w := units.SatAdd(sigma, units.SatAdd(units.Duration(filled)*cycle, wPrime))
+		d.BusCycles = filled
+		d.WPrime = wPrime
+		if w > bound {
+			d.Saturated = true
+			d.Response = units.SatAdd(d.Jitter, units.SatAdd(bound, act.C))
+			return d, true
+		}
+		if w <= t {
+			d.Response = units.SatAdd(d.Jitter, units.SatAdd(w, act.C))
+			return d, true
+		}
+		t = w
+	}
+	d.Saturated = true
+	d.Response = units.SatAdd(d.Jitter, units.SatAdd(bound, act.C))
+	return d, true
+}
+
+// ExplainAll returns breakdowns for every DYN message, in FrameID
+// order.
+func (a *Analyzer) ExplainAll(res *Result) []DYNDelay {
+	msgs := append([]model.ActID(nil), a.dynMsgs...)
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0; j-- {
+			if a.cfg.FrameID[msgs[j]] < a.cfg.FrameID[msgs[j-1]] {
+				msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+			} else {
+				break
+			}
+		}
+	}
+	var out []DYNDelay
+	for _, m := range msgs {
+		if d, ok := a.ExplainDYN(m, res); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func TestExplainDYNConsistentWithRun(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	for _, m := range sys.App.Messages(int(model.DYN)) {
+		d, ok := a.ExplainDYN(m, res)
+		if !ok {
+			t.Fatalf("ExplainDYN(%d) not applicable", m)
+		}
+		if d.Response != res.R[m] {
+			t.Errorf("message %d: breakdown response %v != analysed %v", m, d.Response, res.R[m])
+		}
+		// The identity of Eq. (2)-(3) must hold exactly.
+		sum := units.SatAdd(d.Jitter,
+			units.SatAdd(d.Sigma,
+				units.SatAdd(units.Duration(d.BusCycles)*d.CycleLen,
+					units.SatAdd(d.WPrime, d.Comm))))
+		if !d.Saturated && sum != d.Response {
+			t.Errorf("message %d: components sum to %v, response %v", m, sum, d.Response)
+		}
+	}
+}
+
+func TestExplainDYNFig4Components(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	m1 := actID(t, sys, "m1")
+	d, ok := a.ExplainDYN(m1, res)
+	if !ok {
+		t.Fatal("no breakdown for m1")
+	}
+	// m1: fid 1, no interference at all: σ = 20-8 = 12, 0 filled
+	// cycles, w' = STbus = 8, C = 7.
+	if d.Sigma != 12*us || d.BusCycles != 0 || d.WPrime != 8*us || d.Comm != 7*us {
+		t.Errorf("m1 breakdown = %+v", d)
+	}
+	if d.Saturated {
+		t.Error("m1 should converge")
+	}
+	if !strings.Contains(d.String(), "σ") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestExplainAllOrdersByFrameID(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	all := a.ExplainAll(res)
+	if len(all) != 3 {
+		t.Fatalf("breakdowns = %d, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if cfg.FrameID[all[i].Msg] < cfg.FrameID[all[i-1].Msg] {
+			t.Error("ExplainAll not ordered by FrameID")
+		}
+	}
+}
+
+func TestExplainDYNRejectsNonDYN(t *testing.T) {
+	sys, cfg := fig4System(t)
+	a := newAnalyzer(t, sys, cfg)
+	res := a.Run()
+	if _, ok := a.ExplainDYN(actID(t, sys, "t1"), res); ok {
+		t.Error("task accepted")
+	}
+	delete(cfg.FrameID, actID(t, sys, "m3"))
+	a2 := newAnalyzer(t, sys, cfg)
+	res2 := a2.Run()
+	if _, ok := a2.ExplainDYN(actID(t, sys, "m3"), res2); ok {
+		t.Error("FrameID-less message accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/flexray"
+	"repro/internal/model"
+)
+
+// BBC computes the Basic Bus Configuration (Section 6.1, Fig. 5): the
+// minimal static segment — one slot per ST-sending node, each slot just
+// large enough for the biggest ST message — with criticality-ordered
+// unique FrameIDs, sweeping only the dynamic segment length and keeping
+// the configuration with the best cost function.
+func BBC(sys *model.System, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	e := &evaluator{sys: sys, opts: opts}
+
+	if err := checkSTFits(sys, opts.Params); err != nil {
+		return nil, err
+	}
+
+	// Line 1: FrameID assignment by criticality.
+	fids, err := AssignFrameIDs(sys)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.newConfig(fids)
+
+	// Lines 2-4: minimal static segment, round-robin assignment.
+	senders := sys.App.STSenderNodes()
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	cfg.NumStaticSlots = len(senders)
+	cfg.StaticSlotLen = minStaticSlotLen(sys, opts.Params)
+	cfg.StaticSlotOwner = assignSlotsRoundRobin(senders, cfg.NumStaticSlots)
+
+	// Lines 5-12: sweep the dynamic segment length.
+	var (
+		best     *flexray.Config
+		bestRes  *analysis.Result
+		bestCost = infeasibleCost * 2
+	)
+	try := func(nMS int) {
+		if e.exhausted() {
+			return
+		}
+		cand := cfg.Clone()
+		cand.NumMinislots = nMS
+		if cand.Cycle() >= flexray.MaxCycle { // line 7
+			return
+		}
+		res, cost := e.eval(cand) // line 8-9
+		if cost < bestCost {      // line 10
+			best, bestRes, bestCost = cand, res, cost
+		}
+	}
+
+	if len(fids) == 0 {
+		// No dynamic traffic: a single evaluation with an empty DYN
+		// segment.
+		try(0)
+	} else {
+		minMS, maxMS := dynBounds(sys, cfg, opts.MinislotLen)
+		if maxMS < minMS {
+			return nil, errNoDYNRoom
+		}
+		for _, nMS := range dynGrid(minMS, maxMS, opts.DYNGridCap) {
+			try(nMS)
+		}
+	}
+	if best == nil {
+		return nil, errNoDYNRoom
+	}
+	return e.finish("BBC", best, bestRes, bestCost, start), nil
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/flexray"
+	"repro/internal/interp"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// curveFitDYN implements Determine_DYN_segment_length (Section 6.2.1,
+// Fig. 8): instead of scheduling and analysing every possible dynamic
+// segment size, it evaluates a small support set ("Points", initially
+// five sizes), interpolates the response time of every DYN message over
+// the whole grid with Newton polynomials, picks the size with the best
+// (interpolated or exact) cost, and refines the support set until a
+// schedulable size is confirmed exactly or Nmax iterations pass without
+// improvement.
+func curveFitDYN(e *evaluator, cfg *flexray.Config) (*flexray.Config, *analysis.Result, float64) {
+	if len(cfg.FrameID) == 0 {
+		cand := cfg.Clone()
+		cand.NumMinislots = 0
+		if cand.Cycle() >= flexray.MaxCycle {
+			return nil, nil, infeasibleCost * 2
+		}
+		res, cost := e.eval(cand)
+		return cand, res, cost
+	}
+
+	minMS, maxMS := dynBounds(e.sys, cfg, cfg.MinislotLen)
+	if maxMS < minMS {
+		return nil, nil, infeasibleCost * 2
+	}
+	grid := dynGrid(minMS, maxMS, e.opts.DYNGridCap)
+
+	cf := &curveFit{
+		e:    e,
+		cfg:  cfg,
+		grid: grid,
+		pts:  map[int]*evalPoint{},
+		dyn:  e.sys.App.Messages(int(model.DYN)),
+	}
+
+	// Line 1: the initial support set — min, max and three evenly
+	// spaced sizes (the paper used five points).
+	for _, nMS := range dynGrid(minMS, maxMS, e.opts.InitialPoints) {
+		cf.addPoint(nMS) // lines 2-5
+	}
+
+	bestSoFar := math.Inf(1)
+	noImprove := 0
+	for {
+		if e.exhausted() {
+			return cf.bestExact()
+		}
+		nMS, cost, exact := cf.selectBest() // lines 6-11
+		if nMS < 0 {
+			return cf.bestExact()
+		}
+		switch {
+		case cost <= 0 && exact: // line 12
+			p := cf.pts[nMS]
+			return p.cfg, p.res, p.cost
+		case cost <= 0: // lines 13-16
+			p := cf.addPoint(nMS)
+			if p != nil && p.res != nil && p.res.Schedulable { // line 14
+				return p.cfg, p.res, p.cost
+			}
+		default: // Costmin > 0
+			if _, have := cf.pts[nMS]; !have {
+				cf.addPoint(nMS) // line 17
+			} else {
+				// Lines 18-19: refine the interpolation. The best
+				// interpolated-only size is evaluated exactly;
+				// when the search stalls, bisecting the widest
+				// support gap instead lets the heuristic discover
+				// narrow feasibility dips the polynomial cannot
+				// predict (the paper's "process is continued with
+				// a more exact interpolation").
+				alt := cf.bestInterpolatedOnly()
+				if noImprove%2 == 1 || alt < 0 {
+					if g := cf.widestGapMid(); g >= 0 {
+						alt = g
+					}
+				}
+				if alt < 0 {
+					return cf.bestExact()
+				}
+				cf.addPoint(alt)
+			}
+		}
+		// Termination condition (line 15/21): Nmax iterations
+		// without a schedulable solution and without cost
+		// improvement.
+		if ec := cf.bestExactCost(); ec < bestSoFar-1e-9 {
+			bestSoFar = ec
+			noImprove = 0
+		} else {
+			noImprove++
+			if noImprove >= e.opts.Nmax {
+				return cf.bestExact()
+			}
+		}
+	}
+}
+
+// evalPoint is one exactly analysed support point of the curve fit.
+type evalPoint struct {
+	nMS  int
+	x    float64 // DYNbus in µs
+	cfg  *flexray.Config
+	res  *analysis.Result
+	cost float64
+	// rm[i] is the exact response (µs) of the i-th DYN message.
+	rm []float64
+	// Cost split: contributions of the non-DYN activities, needed to
+	// rebuild the cost function around interpolated DYN responses.
+	nonDYNf1, nonDYNf2 float64
+}
+
+type curveFit struct {
+	e    *evaluator
+	cfg  *flexray.Config
+	grid []int
+	pts  map[int]*evalPoint
+	dyn  []model.ActID
+	// interpolated[nMS] caches the last interpolation pass.
+	interpolated map[int]float64
+}
+
+// addPoint evaluates one dynamic-segment size exactly and stores it in
+// the support set.
+func (cf *curveFit) addPoint(nMS int) *evalPoint {
+	if p, ok := cf.pts[nMS]; ok {
+		return p
+	}
+	cand := cf.cfg.Clone()
+	cand.NumMinislots = nMS
+	if cand.Cycle() >= flexray.MaxCycle {
+		cf.pts[nMS] = &evalPoint{nMS: nMS, x: cf.x(nMS), cfg: cand, cost: infeasibleCost}
+		return cf.pts[nMS]
+	}
+	res, cost := cf.e.eval(cand)
+	p := &evalPoint{nMS: nMS, x: cf.x(nMS), cfg: cand, res: res, cost: cost}
+	if res != nil {
+		app := &cf.e.sys.App
+		isDYN := map[model.ActID]bool{}
+		for _, m := range cf.dyn {
+			isDYN[m] = true
+			p.rm = append(p.rm, res.R[m].Us())
+		}
+		for id, r := range res.R {
+			if isDYN[id] {
+				continue
+			}
+			d := app.Deadline(id)
+			diff := (r - d).Us()
+			if diff > 0 {
+				p.nonDYNf1 += diff
+			}
+			p.nonDYNf2 += diff
+		}
+	}
+	cf.pts[nMS] = p
+	return p
+}
+
+func (cf *curveFit) x(nMS int) float64 {
+	return (units.Duration(nMS) * cf.cfg.MinislotLen).Us()
+}
+
+// selectBest interpolates the whole grid (lines 6-10) and returns the
+// size with the lowest stored cost (line 11) along with whether that
+// cost is exact (the size is in Points). It returns nMS < 0 when there
+// is nothing sensible to select.
+func (cf *curveFit) selectBest() (nMS int, cost float64, exact bool) {
+	// Newton polynomial per DYN message over the support points.
+	var xs []float64
+	var pts []*evalPoint
+	for _, p := range cf.sortedPoints() {
+		if p.res == nil {
+			continue // structurally infeasible size: not a support point
+		}
+		xs = append(xs, p.x)
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		return -1, 0, false
+	}
+	polys := make([]*interp.Newton, len(cf.dyn))
+	for mi := range cf.dyn {
+		ys := make([]float64, len(pts))
+		for pi, p := range pts {
+			ys[pi] = p.rm[mi]
+		}
+		n, err := interp.NewNewton(xs, ys)
+		if err != nil {
+			return -1, 0, false
+		}
+		polys[mi] = n
+	}
+	f1s := make([]float64, len(pts))
+	f2s := make([]float64, len(pts))
+	for pi, p := range pts {
+		f1s[pi] = p.nonDYNf1
+		f2s[pi] = p.nonDYNf2
+	}
+	lin1, err1 := interp.NewLinear(xs, f1s)
+	lin2, err2 := interp.NewLinear(xs, f2s)
+	if err1 != nil || err2 != nil {
+		return -1, 0, false
+	}
+
+	app := &cf.e.sys.App
+	cf.interpolated = map[int]float64{}
+	bestN, bestC, bestExact := -1, math.Inf(1), false
+	consider := func(n int, c float64, ex bool) {
+		if c < bestC || (c == bestC && ex && !bestExact) {
+			bestN, bestC, bestExact = n, c, ex
+		}
+	}
+	for _, n := range cf.grid {
+		if p, ok := cf.pts[n]; ok {
+			consider(n, p.cost, true) // exact cost stored at line 4
+			continue
+		}
+		x := cf.x(n)
+		f1 := lin1.Eval(x)
+		f2 := lin2.Eval(x)
+		for mi, m := range cf.dyn {
+			r := polys[mi].Eval(x)
+			if min := app.Act(m).C.Us(); r < min {
+				r = min // a response below the bus time is impossible
+			}
+			d := app.Deadline(m).Us()
+			diff := r - d
+			if diff > 0 {
+				f1 += diff
+			}
+			f2 += diff
+		}
+		var c float64
+		if f1 > 0 {
+			c = f1
+		} else {
+			c = f2
+		}
+		cf.interpolated[n] = c
+		consider(n, c, false)
+	}
+	return bestN, bestC, bestExact
+}
+
+// bestInterpolatedOnly returns the interpolated-only size with minimal
+// cost (Fig. 8 line 18), or -1 when every grid size is already exact.
+func (cf *curveFit) bestInterpolatedOnly() int {
+	best, bestC := -1, math.Inf(1)
+	for n, c := range cf.interpolated {
+		if _, have := cf.pts[n]; have {
+			continue
+		}
+		if c < bestC || (c == bestC && n < best) {
+			best, bestC = n, c
+		}
+	}
+	return best
+}
+
+// widestGapMid returns the grid size closest to the midpoint of the
+// widest gap between adjacent support points, or -1 when every grid
+// size is already supported.
+func (cf *curveFit) widestGapMid() int {
+	pts := cf.sortedPoints()
+	if len(pts) < 2 {
+		return -1
+	}
+	bestGap, mid := 0, -1
+	for i := 1; i < len(pts); i++ {
+		if g := pts[i].nMS - pts[i-1].nMS; g > bestGap {
+			bestGap = g
+			mid = pts[i-1].nMS + g/2
+		}
+	}
+	if mid < 0 {
+		return -1
+	}
+	// Snap to the nearest unsupported grid size.
+	best, bestD := -1, 1<<62
+	for _, n := range cf.grid {
+		if _, have := cf.pts[n]; have {
+			continue
+		}
+		d := n - mid
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+func (cf *curveFit) sortedPoints() []*evalPoint {
+	out := make([]*evalPoint, 0, len(cf.pts))
+	for _, p := range cf.pts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].nMS < out[j].nMS })
+	return out
+}
+
+// bestExactCost returns the lowest exactly evaluated cost so far.
+func (cf *curveFit) bestExactCost() float64 {
+	best := math.Inf(1)
+	for _, p := range cf.pts {
+		if p.cost < best {
+			best = p.cost
+		}
+	}
+	return best
+}
+
+// bestExact returns the best exactly evaluated configuration (the
+// "return infeasible DYNbus" exits of Fig. 8 still report the best
+// candidate so the outer loop can keep a global incumbent).
+func (cf *curveFit) bestExact() (*flexray.Config, *analysis.Result, float64) {
+	var best *evalPoint
+	for _, p := range cf.pts {
+		if best == nil || p.cost < best.cost {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, nil, infeasibleCost * 2
+	}
+	return best.cfg, best.res, best.cost
+}

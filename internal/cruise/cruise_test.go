@@ -1,0 +1,72 @@
+package cruise
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestTopologyMatchesPaper pins the published topology: 54 tasks and 26
+// messages grouped in 4 task graphs (2 TT + 2 ET) mapped over 5 nodes.
+func TestTopologyMatchesPaper(t *testing.T) {
+	sys, err := System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.App.Tasks(-1)); got != 54 {
+		t.Errorf("tasks = %d, want 54", got)
+	}
+	if got := len(sys.App.Messages(-1)); got != 26 {
+		t.Errorf("messages = %d, want 26", got)
+	}
+	if got := len(sys.App.Graphs); got != 4 {
+		t.Errorf("graphs = %d, want 4", got)
+	}
+	if got := sys.Platform.NumNodes; got != 5 {
+		t.Errorf("nodes = %d, want 5", got)
+	}
+	tt, et := 0, 0
+	for g := range sys.App.Graphs {
+		someTT := false
+		for _, id := range sys.App.Graphs[g].Acts {
+			a := sys.App.Act(id)
+			if a.IsTask() && a.Policy == model.SCS {
+				someTT = true
+			}
+		}
+		if someTT {
+			tt++
+		} else {
+			et++
+		}
+	}
+	if tt != 2 || et != 2 {
+		t.Errorf("TT/ET graphs = %d/%d, want 2/2", tt, et)
+	}
+}
+
+// TestUtilisationBands checks the case study sits inside the Section 7
+// population bands.
+func TestUtilisationBands(t *testing.T) {
+	sys := MustSystem()
+	for n, u := range sys.NodeUtilisation() {
+		if u <= 0 || u > 0.60 {
+			t.Errorf("node %d utilisation %.3f outside (0, 0.60]", n, u)
+		}
+	}
+	if u := sys.BusUtilisation(); u < 0.05 || u > 0.70 {
+		t.Errorf("bus utilisation %.3f outside [0.05,0.70]", u)
+	}
+}
+
+// TestEveryNodeCommunicates: the case study must exercise both segments
+// from several nodes so the optimisation has real work to do.
+func TestEveryNodeCommunicates(t *testing.T) {
+	sys := MustSystem()
+	if got := len(sys.App.STSenderNodes()); got < 3 {
+		t.Errorf("only %d nodes send ST messages", got)
+	}
+	if got := len(sys.App.DYNSenderNodes()); got < 3 {
+		t.Errorf("only %d nodes send DYN messages", got)
+	}
+}

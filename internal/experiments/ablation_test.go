@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var ablationSeeds = []int64{1, 2, 3, 4}
+
+// TestAblationFrameIDs: the criticality order targets feasibility —
+// reversing it must never turn a schedulable system unschedulable, and
+// whenever either configuration violates deadlines (the f1 regime of
+// Eq. 5), the paper's order must not be the worse one. On systems that
+// are schedulable either way, the aggregate slack (f2) may favour
+// either order — that is not what the guideline optimises.
+func TestAblationFrameIDs(t *testing.T) {
+	rows, err := AblationFrameIDs(ablationSeeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BaselineSched && !r.VariantSched {
+			continue // guideline strictly better: fine
+		}
+		if !r.BaselineSched && r.VariantSched {
+			t.Errorf("seed %d: reversed FrameIDs schedulable but criticality order not (%.1f vs %.1f)",
+				r.Seed, r.Baseline, r.Variant)
+		}
+		if !r.BaselineSched && !r.VariantSched && r.Baseline > r.Variant+1e-6 {
+			t.Errorf("seed %d: in the violation regime criticality order is worse: %.1f vs %.1f",
+				r.Seed, r.Baseline, r.Variant)
+		}
+	}
+}
+
+// TestAblationLatestTx: the per-node rule is strictly more conservative
+// than per-frame, so the cost cannot decrease.
+func TestAblationLatestTx(t *testing.T) {
+	rows, err := AblationLatestTx(ablationSeeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Variant < r.Baseline-1e-6 {
+			t.Errorf("seed %d: per-node policy improved the cost: %.1f -> %.1f",
+				r.Seed, r.Baseline, r.Variant)
+		}
+	}
+}
+
+// TestAblationFillSolver: the exact maximisation of filled cycles can
+// only report worst cases at least as large as the greedy heuristic's.
+func TestAblationFillSolver(t *testing.T) {
+	rows, err := AblationFillSolver(ablationSeeds[:2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Variant < r.Baseline-1e-6 {
+			t.Errorf("seed %d: exact fill below greedy: %.1f vs %.1f",
+				r.Seed, r.Variant, r.Baseline)
+		}
+	}
+}
+
+func TestAblationReportFormat(t *testing.T) {
+	rows, err := AblationLatestTx(ablationSeeds[:1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AblationReport(rows)
+	if !strings.Contains(out, "latest-tx-policy") || !strings.Contains(out, "alternative") {
+		t.Errorf("report missing expected columns:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cruise"
+)
+
+// CruiseRow is the outcome of one optimiser on the cruise-controller
+// case study.
+type CruiseRow struct {
+	Algorithm   string
+	Schedulable bool
+	Cost        float64
+	Elapsed     time.Duration
+	Evaluations int
+}
+
+// Cruise regenerates the in-text case study of Section 7: BBC
+// configures the cruise controller quickly but unschedulably; OBC-CF
+// and OBC-EE both find schedulable configurations, OBC-CF with a
+// fraction of OBC-EE's effort and a cost within ~1% of it.
+func Cruise(opts core.Options) ([]CruiseRow, error) {
+	sys, err := cruise.System()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CruiseRow
+	run := func(name string, f func() (*core.Result, error)) error {
+		res, err := f()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, CruiseRow{
+			Algorithm:   name,
+			Schedulable: res.Schedulable,
+			Cost:        res.Cost,
+			Elapsed:     res.Elapsed,
+			Evaluations: res.Evaluations,
+		})
+		return nil
+	}
+	if err := run("BBC", func() (*core.Result, error) { return core.BBC(sys, opts) }); err != nil {
+		return nil, err
+	}
+	if err := run("OBC-CF", func() (*core.Result, error) { return core.OBCCF(sys, opts) }); err != nil {
+		return nil, err
+	}
+	if err := run("OBC-EE", func() (*core.Result, error) { return core.OBCEE(sys, opts) }); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestFig3ExactReproduction pins the paper's printed response times for
+// message m3 under the three static-segment configurations: 16, 12 and
+// 10 time units.
+func TestFig3ExactReproduction(t *testing.T) {
+	rows, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.R3 != r.PaperR3 {
+			t.Errorf("%v: R3 = %v, paper says %v", r.Variant, r.R3, r.PaperR3)
+		}
+		if r.Analysed < r.R3 {
+			t.Errorf("%v: analysis bound %v below simulated %v", r.Variant, r.Analysed, r.R3)
+		}
+	}
+	// The figure's secondary observation: enlarging the slots in (c)
+	// delays m1 and m2 relative to (a).
+	if !(rows[2].R1 > rows[0].R1) {
+		t.Errorf("Fig3c should delay m1: got %v vs %v", rows[2].R1, rows[0].R1)
+	}
+	if rows[0].GdCycle != 8*units.Microsecond ||
+		rows[1].GdCycle != 12*units.Microsecond ||
+		rows[2].GdCycle != 10*units.Microsecond {
+		t.Errorf("gdCycle mismatch: %v %v %v", rows[0].GdCycle, rows[1].GdCycle, rows[2].GdCycle)
+	}
+}
+
+// TestFig4ExactReproduction pins the paper's printed response times for
+// message m2 under the three dynamic-segment configurations: 37, 35 and
+// 21 time units.
+func TestFig4ExactReproduction(t *testing.T) {
+	rows, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.R2 != r.PaperR2 {
+			t.Errorf("%v: R2 = %v, paper says %v", r.Variant, r.R2, r.PaperR2)
+		}
+		if r.AnalysedR2 < r.R2 {
+			t.Errorf("%v: analysis bound %v below simulated %v", r.Variant, r.AnalysedR2, r.R2)
+		}
+	}
+	// Fig. 4's narrative: in (a) m3 shares m1's FrameID and waits a
+	// full cycle; in (b) it goes out in cycle one.
+	if !(rows[1].R3 < rows[0].R3) {
+		t.Errorf("Fig4b should send m3 earlier than Fig4a: %v vs %v", rows[1].R3, rows[0].R3)
+	}
+	// In (c) m3 has a greater FrameID than m2 and is pushed to the
+	// second cycle.
+	if !(rows[2].R3 > rows[2].R2) {
+		t.Errorf("Fig4c: m3 (%v) should finish after m2 (%v)", rows[2].R3, rows[2].R2)
+	}
+}

@@ -1,0 +1,116 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/synth"
+)
+
+func TestDOTContainsEveryActivity(t *testing.T) {
+	sys, err := synth.Generate(synth.DefaultParams(3, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DOT(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a digraph")
+	}
+	for i := range sys.App.Acts {
+		if !strings.Contains(out, "\""+sys.App.Acts[i].Name+"\"") {
+			t.Errorf("activity %q missing from DOT", sys.App.Acts[i].Name)
+		}
+	}
+	// One cluster per task graph.
+	if got := strings.Count(out, "subgraph cluster_"); got != len(sys.App.Graphs) {
+		t.Errorf("clusters = %d, want %d", got, len(sys.App.Graphs))
+	}
+	// Every edge appears.
+	edges := 0
+	for i := range sys.App.Acts {
+		edges += len(sys.App.Acts[i].Succs)
+	}
+	if got := strings.Count(out, " -> "); got != edges {
+		t.Errorf("edges = %d, want %d", got, edges)
+	}
+}
+
+func TestGanttRendersNodesAndBus(t *testing.T) {
+	sys, err := synth.Generate(synth.DefaultParams(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.DYNGridCap = 8
+	res, err := core.BBC(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _, err := sched.Build(sys, res.Config, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Gantt(&buf, sys, res.Config, table, GanttOptions{Width: 80}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for n := 0; n < 2; n++ {
+		if !strings.Contains(out, sys.Platform.NodeName(0)) {
+			t.Errorf("node row missing")
+		}
+	}
+	if !strings.Contains(out, "bus") || !strings.Contains(out, "S") {
+		t.Error("bus row missing static slots")
+	}
+	if !strings.Contains(out, "#") && !strings.Contains(out, ".") {
+		t.Error("node rows render nothing")
+	}
+	if !strings.Contains(out, "cycle") {
+		t.Error("message placements missing")
+	}
+}
+
+func TestGanttRequiresHorizon(t *testing.T) {
+	sys, err := synth.Generate(synth.DefaultParams(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.DYNGridCap = 8
+	res, err := core.BBC(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _, err := sched.Build(sys, res.Config, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Horizon = 0
+	var buf bytes.Buffer
+	if err := Gantt(&buf, sys, res.Config, table, GanttOptions{}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := SeriesCSV(&buf, "x", []string{"a", "b"}, [][]float64{
+		{1, 10, 100},
+		{2, 20, 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,10,100\n2,20,200\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,356 @@
+package flexray
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+const us = units.Microsecond
+
+// fixture: two nodes, one ST message N0->N1, two DYN messages (one per
+// node).
+func fixture(t testing.TB) (*model.System, *Config) {
+	t.Helper()
+	b := model.NewBuilder("cfg-fixture", 2)
+	g := b.Graph("g", 10*units.Millisecond, 10*units.Millisecond)
+	t1 := b.Task(g, "t1", 0, 100*us, model.SCS)
+	t2 := b.Task(g, "t2", 1, 100*us, model.SCS)
+	e1 := b.PrioTask(g, "e1", 0, 100*us, 2)
+	e2 := b.PrioTask(g, "e2", 1, 100*us, 1)
+	e3 := b.PrioTask(g, "e3", 0, 100*us, 1)
+	mst := b.Message("m_st", model.ST, 60*us, t1, t2, 0)
+	d1 := b.Message("d1", model.DYN, 30*us, e1, e2, 2)
+	d2 := b.Message("d2", model.DYN, 45*us, e2, e3, 1)
+	sys := b.MustBuild()
+	_ = mst
+	cfg := &Config{
+		StaticSlotLen:   100 * us,
+		NumStaticSlots:  2,
+		StaticSlotOwner: []model.NodeID{0, 1},
+		MinislotLen:     10 * us,
+		NumMinislots:    20,
+		FrameID:         map[model.ActID]int{d1: 1, d2: 2},
+		Policy:          LatestTxPerFrame,
+	}
+	return sys, cfg
+}
+
+func TestDerivedLengths(t *testing.T) {
+	_, cfg := fixture(t)
+	if got := cfg.STBus(); got != 200*us {
+		t.Errorf("STBus = %v, want 200µs", got)
+	}
+	if got := cfg.DYNBus(); got != 200*us {
+		t.Errorf("DYNBus = %v, want 200µs", got)
+	}
+	if got := cfg.Cycle(); got != 400*us {
+		t.Errorf("Cycle = %v, want 400µs", got)
+	}
+}
+
+func TestSlotTimes(t *testing.T) {
+	_, cfg := fixture(t)
+	if got := cfg.StaticSlotStart(0, 1); got != 0 {
+		t.Errorf("slot 1 cycle 0 start = %v", got)
+	}
+	if got := cfg.StaticSlotStart(1, 2); got != units.Time(500*us) {
+		t.Errorf("slot 2 cycle 1 start = %v, want 500µs", got)
+	}
+	if got := cfg.StaticSlotEnd(0, 2); got != units.Time(200*us) {
+		t.Errorf("slot 2 cycle 0 end = %v, want 200µs", got)
+	}
+	if got := cfg.DYNStart(1); got != units.Time(600*us) {
+		t.Errorf("DYN start cycle 1 = %v, want 600µs", got)
+	}
+	if got := cfg.CycleStart(3); got != units.Time(1200*us) {
+		t.Errorf("cycle 3 start = %v", got)
+	}
+}
+
+func TestCycleOf(t *testing.T) {
+	_, cfg := fixture(t)
+	cases := []struct {
+		t    units.Time
+		want int64
+	}{
+		{0, 0},
+		{units.Time(399 * us), 0},
+		{units.Time(400 * us), 1},
+		{units.Time(401 * us), 1},
+		{units.Time(-1), -1},
+	}
+	for _, c := range cases {
+		if got := cfg.CycleOf(c.t); got != c.want {
+			t.Errorf("CycleOf(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSizeInMinislots(t *testing.T) {
+	_, cfg := fixture(t)
+	cases := []struct {
+		c    units.Duration
+		want int
+	}{
+		{1, 1},
+		{10 * us, 1},
+		{11 * us, 2},
+		{30 * us, 3},
+		{45 * us, 5},
+	}
+	for _, c := range cases {
+		if got := cfg.SizeInMinislots(c.c); got != c.want {
+			t.Errorf("SizeInMinislots(%v) = %d, want %d", c.c, got, c.want)
+		}
+	}
+}
+
+func TestSlotsOfNode(t *testing.T) {
+	_, cfg := fixture(t)
+	if got := cfg.SlotsOfNode(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("SlotsOfNode(0) = %v", got)
+	}
+	cfg.StaticSlotOwner = []model.NodeID{1, 1}
+	if got := cfg.SlotsOfNode(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("SlotsOfNode(1) = %v", got)
+	}
+	if got := cfg.SlotsOfNode(0); len(got) != 0 {
+		t.Errorf("SlotsOfNode(0) after reassignment = %v", got)
+	}
+}
+
+func TestPLatestTxPerNode(t *testing.T) {
+	sys, cfg := fixture(t)
+	// Node 1 sends d2 (45µs -> 5 minislots): pLatestTx = 20-5+1 = 16.
+	if got := cfg.PLatestTx(&sys.App, 1); got != 16 {
+		t.Errorf("pLatestTx(N1) = %d, want 16", got)
+	}
+	// Node 0 sends d1 (3 minislots): 20-3+1 = 18.
+	if got := cfg.PLatestTx(&sys.App, 0); got != 18 {
+		t.Errorf("pLatestTx(N0) = %d, want 18", got)
+	}
+}
+
+func TestFitsAtPerFrame(t *testing.T) {
+	sys, cfg := fixture(t)
+	var d2 model.ActID
+	for m := range cfg.FrameID {
+		if sys.App.Act(m).Name == "d2" {
+			d2 = m
+		}
+	}
+	// d2 is 5 minislots: fits at counter 16 (16+5-1=20), not at 17.
+	if !cfg.FitsAt(&sys.App, d2, 16) {
+		t.Error("d2 should fit at minislot 16")
+	}
+	if cfg.FitsAt(&sys.App, d2, 17) {
+		t.Error("d2 should not fit at minislot 17")
+	}
+}
+
+func TestFitsAtPerNode(t *testing.T) {
+	sys, cfg := fixture(t)
+	cfg.Policy = LatestTxPerNode
+	var d1 model.ActID
+	for m := range cfg.FrameID {
+		if sys.App.Act(m).Name == "d1" {
+			d1 = m
+		}
+	}
+	// Per-node: node 0's pLatestTx is 18 regardless of d1's own size.
+	if !cfg.FitsAt(&sys.App, d1, 18) {
+		t.Error("d1 should fit at 18 under per-node policy")
+	}
+	if cfg.FitsAt(&sys.App, d1, 19) {
+		t.Error("d1 should not fit at 19 under per-node policy")
+	}
+}
+
+func TestValidateAcceptsFixture(t *testing.T) {
+	sys, cfg := fixture(t)
+	if err := cfg.Validate(DefaultParams(), sys); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func breakConfig(t *testing.T, want string, mutate func(*model.System, *Config)) {
+	t.Helper()
+	sys, cfg := fixture(t)
+	mutate(sys, cfg)
+	err := cfg.Validate(DefaultParams(), sys)
+	if err == nil {
+		t.Fatalf("mutation %q accepted", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestValidateRejectsTooManySlots(t *testing.T) {
+	breakConfig(t, "gdNumberOfStaticSlots", func(_ *model.System, c *Config) {
+		c.NumStaticSlots = MaxStaticSlots + 1
+	})
+}
+
+func TestValidateRejectsOversizedSlot(t *testing.T) {
+	breakConfig(t, "macroticks", func(_ *model.System, c *Config) {
+		c.StaticSlotLen = 662 * us
+	})
+}
+
+func TestValidateRejectsTooManyMinislots(t *testing.T) {
+	breakConfig(t, "gNumberOfMinislots", func(_ *model.System, c *Config) {
+		c.NumMinislots = MaxMinislots + 1
+	})
+}
+
+func TestValidateRejectsLongCycle(t *testing.T) {
+	breakConfig(t, "16 ms", func(_ *model.System, c *Config) {
+		c.MinislotLen = units.Millisecond
+		c.NumMinislots = 16
+	})
+}
+
+func TestValidateRejectsOwnerMismatch(t *testing.T) {
+	breakConfig(t, "entries for", func(_ *model.System, c *Config) {
+		c.StaticSlotOwner = c.StaticSlotOwner[:1]
+	})
+}
+
+func TestValidateRejectsSlotlessSTSender(t *testing.T) {
+	breakConfig(t, "owns no static slot", func(_ *model.System, c *Config) {
+		c.StaticSlotOwner = []model.NodeID{1, 1}
+	})
+}
+
+func TestValidateRejectsOversizedSTMessage(t *testing.T) {
+	breakConfig(t, "exceeds gdStaticSlot", func(_ *model.System, c *Config) {
+		c.StaticSlotLen = 50 * us // m_st is 60µs
+	})
+}
+
+func TestValidateRejectsMissingFrameID(t *testing.T) {
+	breakConfig(t, "no FrameID", func(sys *model.System, c *Config) {
+		for m := range c.FrameID {
+			delete(c.FrameID, m)
+			break
+		}
+	})
+}
+
+func TestValidateRejectsCrossNodeFrameIDSharing(t *testing.T) {
+	breakConfig(t, "shared across nodes", func(sys *model.System, c *Config) {
+		for m := range c.FrameID {
+			c.FrameID[m] = 1 // d1 (node 0) and d2 (node 1) collide
+		}
+	})
+}
+
+func TestValidateRejectsUnreachableFrameID(t *testing.T) {
+	breakConfig(t, "can never fit", func(sys *model.System, c *Config) {
+		for m := range c.FrameID {
+			if sys.App.Act(m).Name == "d2" {
+				c.FrameID[m] = 17 // 17+5-1 = 21 > 20 minislots
+			}
+		}
+	})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	_, cfg := fixture(t)
+	cl := cfg.Clone()
+	cl.StaticSlotOwner[0] = 1
+	for m := range cl.FrameID {
+		cl.FrameID[m] = 9
+	}
+	if cfg.StaticSlotOwner[0] == 1 {
+		t.Error("Clone shares StaticSlotOwner")
+	}
+	for _, f := range cfg.FrameID {
+		if f == 9 {
+			t.Error("Clone shares FrameID map")
+		}
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := DefaultParams()
+	if got := p.BitTime(20); got != 2*us {
+		t.Errorf("BitTime(20) = %v, want 2µs at 10 Mbit/s", got)
+	}
+	if got := p.SlotStep(); got != 2*us {
+		t.Errorf("SlotStep = %v, want 2µs (20 gdBit)", got)
+	}
+	if got := p.MaxStaticSlotLen(); got != 661*us {
+		t.Errorf("MaxStaticSlotLen = %v, want 661µs", got)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	sys, cfg := fixture(t)
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StaticSlotLen != cfg.StaticSlotLen || back.NumStaticSlots != cfg.NumStaticSlots ||
+		back.MinislotLen != cfg.MinislotLen || back.NumMinislots != cfg.NumMinislots ||
+		back.Policy != cfg.Policy {
+		t.Errorf("scalar fields changed: %v vs %v", back, cfg)
+	}
+	for m, f := range cfg.FrameID {
+		if back.FrameID[m] != f {
+			t.Errorf("FrameID of %d changed: %d vs %d", m, back.FrameID[m], f)
+		}
+	}
+	if len(back.StaticSlotOwner) != len(cfg.StaticSlotOwner) {
+		t.Errorf("owners changed")
+	}
+}
+
+func TestConfigJSONUnknownMessage(t *testing.T) {
+	sys, _ := fixture(t)
+	in := `{"static_slot_us":100,"num_static_slots":1,"slot_owners":[0],
+	  "minislot_us":10,"num_minislots":10,"frame_ids":{"ghost":1},"latest_tx_policy":"per-frame"}`
+	if _, err := ReadJSON(strings.NewReader(in), sys); err == nil {
+		t.Fatal("unknown message name accepted")
+	}
+}
+
+func TestMaxFrameID(t *testing.T) {
+	_, cfg := fixture(t)
+	if got := cfg.MaxFrameID(); got != 2 {
+		t.Errorf("MaxFrameID = %d, want 2", got)
+	}
+	cfg.FrameID = map[model.ActID]int{}
+	if got := cfg.MaxFrameID(); got != 0 {
+		t.Errorf("MaxFrameID(empty) = %d, want 0", got)
+	}
+}
+
+func TestDYNNodeOf(t *testing.T) {
+	sys, cfg := fixture(t)
+	if got := cfg.DYNNodeOf(&sys.App, 1); got != 0 {
+		t.Errorf("DYNNodeOf(1) = %d, want 0", got)
+	}
+	if got := cfg.DYNNodeOf(&sys.App, 9); got != -1 {
+		t.Errorf("DYNNodeOf(unused) = %d, want -1", got)
+	}
+}
+
+func TestStringIncludesGeometry(t *testing.T) {
+	_, cfg := fixture(t)
+	s := cfg.String()
+	for _, want := range []string{"2×100µs", "20×10µs", "per-frame"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

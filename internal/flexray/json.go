@@ -1,0 +1,86 @@
+package flexray
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// The JSON form of a configuration references DYN messages by name so
+// the files survive regeneration of the system description and are
+// reviewable by humans.
+
+type jsonConfig struct {
+	StaticSlotUs   float64        `json:"static_slot_us"`
+	NumStaticSlots int            `json:"num_static_slots"`
+	SlotOwners     []int          `json:"slot_owners"`
+	MinislotUs     float64        `json:"minislot_us"`
+	NumMinislots   int            `json:"num_minislots"`
+	FrameIDs       map[string]int `json:"frame_ids"`
+	Policy         string         `json:"latest_tx_policy"`
+}
+
+// WriteJSON serialises the configuration for the given system.
+func (c *Config) WriteJSON(w io.Writer, sys *model.System) error {
+	jc := jsonConfig{
+		StaticSlotUs:   c.StaticSlotLen.Us(),
+		NumStaticSlots: c.NumStaticSlots,
+		MinislotUs:     c.MinislotLen.Us(),
+		NumMinislots:   c.NumMinislots,
+		FrameIDs:       map[string]int{},
+		Policy:         c.Policy.String(),
+	}
+	for _, o := range c.StaticSlotOwner {
+		jc.SlotOwners = append(jc.SlotOwners, int(o))
+	}
+	for m, fid := range c.FrameID {
+		jc.FrameIDs[sys.App.Act(m).Name] = fid
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jc)
+}
+
+// ReadJSON parses a configuration and resolves message names against
+// the system.
+func ReadJSON(r io.Reader, sys *model.System) (*Config, error) {
+	var jc jsonConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jc); err != nil {
+		return nil, fmt.Errorf("flexray: decoding config: %w", err)
+	}
+	c := &Config{
+		StaticSlotLen:  units.Microseconds(jc.StaticSlotUs),
+		NumStaticSlots: jc.NumStaticSlots,
+		MinislotLen:    units.Microseconds(jc.MinislotUs),
+		NumMinislots:   jc.NumMinislots,
+		FrameID:        map[model.ActID]int{},
+	}
+	switch jc.Policy {
+	case "per-frame", "":
+		c.Policy = LatestTxPerFrame
+	case "per-node":
+		c.Policy = LatestTxPerNode
+	default:
+		return nil, fmt.Errorf("flexray: unknown latest_tx_policy %q", jc.Policy)
+	}
+	for _, o := range jc.SlotOwners {
+		c.StaticSlotOwner = append(c.StaticSlotOwner, model.NodeID(o))
+	}
+	byName := map[string]model.ActID{}
+	for i := range sys.App.Acts {
+		byName[sys.App.Acts[i].Name] = sys.App.Acts[i].ID
+	}
+	for name, fid := range jc.FrameIDs {
+		id, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("flexray: config references unknown message %q", name)
+		}
+		c.FrameID[id] = fid
+	}
+	return c, nil
+}

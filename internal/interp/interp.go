@@ -1,0 +1,138 @@
+// Package interp implements Newton divided-difference polynomial
+// interpolation. The OBC curve-fitting heuristic (Section 6.2.1)
+// interpolates message response times as a function of the dynamic
+// segment length; the paper chose a Newton polynomial because it is
+// "extremely fast, in particular when recalculating the values after a
+// new point has been added to the set Points" — which is exactly the
+// incremental AddPoint below.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Newton is an interpolating polynomial in Newton form over a growing
+// set of support points.
+type Newton struct {
+	xs   []float64
+	ys   []float64
+	coef []float64 // coef[k] = f[x0,...,xk]
+}
+
+// ErrDuplicateX reports an attempt to add a support point with an
+// existing abscissa.
+var ErrDuplicateX = errors.New("interp: duplicate x")
+
+// NewNewton builds a polynomial through the given points.
+func NewNewton(xs, ys []float64) (*Newton, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("interp: %d xs vs %d ys", len(xs), len(ys))
+	}
+	n := &Newton{}
+	for i := range xs {
+		if err := n.AddPoint(xs[i], ys[i]); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// AddPoint extends the polynomial with one support point, reusing all
+// previously computed divided differences (O(n) per insertion).
+func (n *Newton) AddPoint(x, y float64) error {
+	for _, xi := range n.xs {
+		if xi == x {
+			return ErrDuplicateX
+		}
+	}
+	n.xs = append(n.xs, x)
+	n.ys = append(n.ys, y)
+	m := len(n.xs)
+	// Rebuild the divided-difference table row by row. The support
+	// sets of the heuristic hold 5-15 points, so the O(m^2) rebuild
+	// is negligible and avoids the numerical bookkeeping of the
+	// strictly incremental diagonal update.
+	n.coef = make([]float64, m)
+	row := append([]float64(nil), n.ys...)
+	n.coef[0] = row[0]
+	for k := 1; k < m; k++ {
+		for i := 0; i < m-k; i++ {
+			row[i] = (row[i+1] - row[i]) / (n.xs[i+k] - n.xs[i])
+		}
+		n.coef[k] = row[0]
+	}
+	return nil
+}
+
+// Len returns the number of support points.
+func (n *Newton) Len() int { return len(n.xs) }
+
+// Eval evaluates the polynomial at x using Horner's scheme on the
+// Newton form.
+func (n *Newton) Eval(x float64) float64 {
+	if len(n.coef) == 0 {
+		return 0
+	}
+	m := len(n.coef)
+	v := n.coef[m-1]
+	for k := m - 2; k >= 0; k-- {
+		v = v*(x-n.xs[k]) + n.coef[k]
+	}
+	return v
+}
+
+// Linear interpolates piecewise-linearly through (xs, ys); it is used
+// for the slowly varying non-DYN part of the cost function where a
+// high-order polynomial would oscillate. xs need not be sorted.
+type Linear struct {
+	xs []float64
+	ys []float64
+}
+
+// NewLinear builds a piecewise-linear interpolant.
+func NewLinear(xs, ys []float64) (*Linear, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("interp: %d xs vs %d ys", len(xs), len(ys))
+	}
+	l := &Linear{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	sort.Sort(byX{l})
+	for i := 1; i < len(l.xs); i++ {
+		if l.xs[i] == l.xs[i-1] {
+			return nil, ErrDuplicateX
+		}
+	}
+	return l, nil
+}
+
+type byX struct{ l *Linear }
+
+func (b byX) Len() int           { return len(b.l.xs) }
+func (b byX) Less(i, j int) bool { return b.l.xs[i] < b.l.xs[j] }
+func (b byX) Swap(i, j int) {
+	b.l.xs[i], b.l.xs[j] = b.l.xs[j], b.l.xs[i]
+	b.l.ys[i], b.l.ys[j] = b.l.ys[j], b.l.ys[i]
+}
+
+// Eval evaluates the interpolant, extrapolating with the boundary
+// segments.
+func (l *Linear) Eval(x float64) float64 {
+	n := len(l.xs)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return l.ys[0]
+	}
+	i := sort.SearchFloat64s(l.xs, x)
+	if i == 0 {
+		i = 1
+	}
+	if i >= n {
+		i = n - 1
+	}
+	x0, x1 := l.xs[i-1], l.xs[i]
+	y0, y1 := l.ys[i-1], l.ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}

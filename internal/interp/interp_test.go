@@ -1,0 +1,172 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*math.Max(scale, 1)
+}
+
+func TestNewtonReproducesSupportPoints(t *testing.T) {
+	xs := []float64{0, 1, 2.5, 4, 7}
+	ys := []float64{3, -1, 0.5, 10, 2}
+	n, err := NewNewton(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := n.Eval(xs[i]); !almost(got, ys[i]) {
+			t.Errorf("Eval(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+	if n.Len() != len(xs) {
+		t.Errorf("Len = %d, want %d", n.Len(), len(xs))
+	}
+}
+
+func TestNewtonExactOnPolynomials(t *testing.T) {
+	// A polynomial of degree k is reproduced exactly from k+1 points.
+	poly := func(coef []float64, x float64) float64 {
+		v := 0.0
+		for i := len(coef) - 1; i >= 0; i-- {
+			v = v*x + coef[i]
+		}
+		return v
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		deg := rng.Intn(5)
+		coef := make([]float64, deg+1)
+		for i := range coef {
+			coef[i] = rng.Float64()*10 - 5
+		}
+		n := &Newton{}
+		for i := 0; i <= deg; i++ {
+			x := float64(i) * 1.5
+			if err := n.AddPoint(x, poly(coef, x)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for probe := 0; probe < 10; probe++ {
+			x := rng.Float64()*20 - 5
+			if got, want := n.Eval(x), poly(coef, x); !almost(got, want) {
+				t.Fatalf("trial %d: deg %d poly at %v: %v != %v", trial, deg, x, got, want)
+			}
+		}
+	}
+}
+
+func TestNewtonIncrementalEqualsBatch(t *testing.T) {
+	xs := []float64{0, 2, 5, 6, 9}
+	ys := []float64{1, 4, -2, 8, 0}
+	batch, err := NewNewton(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := &Newton{}
+	for i := range xs {
+		if err := inc.AddPoint(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for x := -2.0; x < 12; x += 0.7 {
+		if !almost(batch.Eval(x), inc.Eval(x)) {
+			t.Errorf("batch/incremental diverge at %v: %v vs %v", x, batch.Eval(x), inc.Eval(x))
+		}
+	}
+}
+
+func TestNewtonRejectsDuplicateX(t *testing.T) {
+	n := &Newton{}
+	if err := n.AddPoint(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPoint(1, 3); err != ErrDuplicateX {
+		t.Fatalf("duplicate x accepted: %v", err)
+	}
+	if _, err := NewNewton([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("NewNewton accepted duplicate xs")
+	}
+}
+
+func TestNewtonEmptyAndMismatch(t *testing.T) {
+	n := &Newton{}
+	if got := n.Eval(5); got != 0 {
+		t.Errorf("empty polynomial Eval = %v, want 0", got)
+	}
+	if _, err := NewNewton([]float64{1}, []float64{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Property: a Newton polynomial through two points is the straight line
+// through them.
+func TestNewtonLineProperty(t *testing.T) {
+	f := func(x0, y0, y1, probe int16) bool {
+		x0f, y0f, y1f := float64(x0), float64(y0), float64(y1)
+		x1f := x0f + 10 // distinct abscissae
+		n, err := NewNewton([]float64{x0f, x1f}, []float64{y0f, y1f})
+		if err != nil {
+			return false
+		}
+		x := float64(probe)
+		want := y0f + (y1f-y0f)*(x-x0f)/10
+		return almost(n.Eval(x), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearInterpolation(t *testing.T) {
+	l, err := NewLinear([]float64{0, 10, 20}, []float64{0, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {5, 50}, {10, 100}, {15, 50}, {20, 0},
+		{-5, -50}, // extrapolation with the boundary segment
+		{25, -50},
+	}
+	for _, c := range cases {
+		if got := l.Eval(c.x); !almost(got, c.want) {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLinearUnsortedInput(t *testing.T) {
+	l, err := NewLinear([]float64{20, 0, 10}, []float64{0, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Eval(5); !almost(got, 50) {
+		t.Errorf("Eval(5) on unsorted input = %v, want 50", got)
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	l, err := NewLinear(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Eval(7); got != 0 {
+		t.Errorf("empty Linear Eval = %v", got)
+	}
+	l, err = NewLinear([]float64{3}, []float64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Eval(100); got != 9 {
+		t.Errorf("single-point Linear Eval = %v, want 9", got)
+	}
+	if _, err := NewLinear([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("duplicate x accepted by Linear")
+	}
+}

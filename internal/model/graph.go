@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// TopoOrder returns the activity ids of graph g in a topological order,
+// or an error if the graph contains a cycle. The order is deterministic
+// (Kahn's algorithm with a FIFO over insertion order) so that schedules
+// and tests are reproducible.
+func (app *Application) TopoOrder(g int) ([]ActID, error) {
+	members := app.Graphs[g].Acts
+	indeg := make(map[ActID]int, len(members))
+	for _, id := range members {
+		indeg[id] = len(app.Act(id).Preds)
+	}
+	var queue []ActID
+	for _, id := range members {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]ActID, 0, len(members))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range app.Act(id).Succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(members) {
+		return nil, fmt.Errorf("model: graph %q contains a cycle", app.Graphs[g].Name)
+	}
+	return order, nil
+}
+
+// LongestPathTo returns, for every activity of graph g, the length of
+// the longest path from any root of the graph up to and including the
+// activity itself (sum of C along the path). This is the LPm of Eq. (4)
+// when applied to a message vertex.
+func (app *Application) LongestPathTo(g int) (map[ActID]units.Duration, error) {
+	order, err := app.TopoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	lp := make(map[ActID]units.Duration, len(order))
+	for _, id := range order {
+		a := app.Act(id)
+		var best units.Duration
+		for _, p := range a.Preds {
+			if lp[p] > best {
+				best = lp[p]
+			}
+		}
+		lp[id] = units.SatAdd(best, a.C)
+	}
+	return lp, nil
+}
+
+// RemainingPath returns, for every activity of graph g, the length of
+// the longest path from the activity (inclusive) to any sink. This is
+// the (modified) critical-path metric used to order the ready list of
+// the global scheduling algorithm (Fig. 2, per ref [12]).
+func (app *Application) RemainingPath(g int) (map[ActID]units.Duration, error) {
+	order, err := app.TopoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	rp := make(map[ActID]units.Duration, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		a := app.Act(id)
+		var best units.Duration
+		for _, s := range a.Succs {
+			if rp[s] > best {
+				best = rp[s]
+			}
+		}
+		rp[id] = units.SatAdd(best, a.C)
+	}
+	return rp, nil
+}
+
+// Criticality returns CPm = Dm - LPm (Eq. 4) for every DYN message in
+// the application; smaller CP means higher criticality and, in the BBC
+// FrameID assignment, a smaller FrameID.
+func (app *Application) Criticality() (map[ActID]units.Duration, error) {
+	cp := map[ActID]units.Duration{}
+	for g := range app.Graphs {
+		lp, err := app.LongestPathTo(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range app.Graphs[g].Acts {
+			a := app.Act(id)
+			if a.IsMessage() && a.Class == DYN {
+				cp[id] = app.Deadline(id) - lp[id]
+			}
+		}
+	}
+	return cp, nil
+}
+
+// Roots returns the source vertices (no predecessors) of graph g.
+func (app *Application) Roots(g int) []ActID {
+	var out []ActID
+	for _, id := range app.Graphs[g].Acts {
+		if len(app.Act(id).Preds) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Sinks returns the sink vertices (no successors) of graph g.
+func (app *Application) Sinks(g int) []ActID {
+	var out []ActID
+	for _, id := range app.Graphs[g].Acts {
+		if len(app.Act(id).Succs) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}

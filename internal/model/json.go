@@ -1,0 +1,173 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+)
+
+// The JSON schema is the interchange format of the cmd tools: a system
+// description produced by flexray-gen and consumed by flexray-opt /
+// flexray-sim. Durations are written in microseconds (float) to match
+// the paper's units; names are used for edges so files are hand
+// editable.
+
+type jsonSystem struct {
+	Name   string      `json:"name"`
+	Nodes  int         `json:"nodes"`
+	Names  []string    `json:"node_names,omitempty"`
+	Graphs []jsonGraph `json:"graphs"`
+}
+
+type jsonGraph struct {
+	Name     string     `json:"name"`
+	PeriodUs float64    `json:"period_us"`
+	DeadUs   float64    `json:"deadline_us"`
+	Tasks    []jsonTask `json:"tasks"`
+	Messages []jsonMsg  `json:"messages"`
+}
+
+type jsonTask struct {
+	Name      string   `json:"name"`
+	Node      int      `json:"node"`
+	WCETUs    float64  `json:"wcet_us"`
+	Policy    string   `json:"policy"` // "SCS" | "FPS"
+	Priority  int      `json:"priority,omitempty"`
+	ReleaseUs float64  `json:"release_us,omitempty"`
+	DeadUs    float64  `json:"deadline_us,omitempty"`
+	Preds     []string `json:"preds,omitempty"` // task names (same-node precedence)
+}
+
+type jsonMsg struct {
+	Name     string  `json:"name"`
+	Class    string  `json:"class"` // "ST" | "DYN"
+	CommUs   float64 `json:"comm_us"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Priority int     `json:"priority,omitempty"`
+	DeadUs   float64 `json:"deadline_us,omitempty"`
+}
+
+// WriteJSON serialises the system in the interchange format.
+func (s *System) WriteJSON(w io.Writer) error {
+	js := jsonSystem{Name: s.Name, Nodes: s.Platform.NumNodes, Names: s.Platform.NodeNames}
+	for g := range s.App.Graphs {
+		tg := &s.App.Graphs[g]
+		jg := jsonGraph{
+			Name:     tg.Name,
+			PeriodUs: tg.Period.Us(),
+			DeadUs:   tg.Deadline.Us(),
+		}
+		for _, id := range tg.Acts {
+			a := s.App.Act(id)
+			if a.IsTask() {
+				jt := jsonTask{
+					Name:      a.Name,
+					Node:      int(a.Node),
+					WCETUs:    a.C.Us(),
+					Policy:    a.Policy.String(),
+					Priority:  a.Priority,
+					ReleaseUs: a.Release.Us(),
+					DeadUs:    a.Deadline.Us(),
+				}
+				for _, p := range a.Preds {
+					pa := s.App.Act(p)
+					if pa.IsTask() { // message edges are implied by from/to
+						jt.Preds = append(jt.Preds, pa.Name)
+					}
+				}
+				jg.Tasks = append(jg.Tasks, jt)
+			} else {
+				jg.Messages = append(jg.Messages, jsonMsg{
+					Name:     a.Name,
+					Class:    a.Class.String(),
+					CommUs:   a.C.Us(),
+					From:     s.App.Sender(a.ID).Name,
+					To:       s.App.Receiver(a.ID).Name,
+					Priority: a.Priority,
+					DeadUs:   a.Deadline.Us(),
+				})
+			}
+		}
+		js.Graphs = append(js.Graphs, jg)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ReadJSON parses a system from the interchange format and validates
+// it.
+func ReadJSON(r io.Reader) (*System, error) {
+	var js jsonSystem
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	b := NewBuilder(js.Name, js.Nodes)
+	if len(js.Names) > 0 {
+		b.NodeNames(js.Names...)
+	}
+	for _, jg := range js.Graphs {
+		g := b.Graph(jg.Name, units.Microseconds(jg.PeriodUs), units.Microseconds(jg.DeadUs))
+		for _, jt := range jg.Tasks {
+			var pol Policy
+			switch jt.Policy {
+			case "SCS":
+				pol = SCS
+			case "FPS":
+				pol = FPS
+			default:
+				return nil, fmt.Errorf("model: task %q: unknown policy %q", jt.Name, jt.Policy)
+			}
+			id := b.Task(g, jt.Name, NodeID(jt.Node), units.Microseconds(jt.WCETUs), pol)
+			if jt.Priority != 0 && id != None {
+				b.sys.App.Acts[id].Priority = jt.Priority
+			}
+			if jt.ReleaseUs > 0 {
+				b.Release(id, units.Microseconds(jt.ReleaseUs))
+			}
+			if jt.DeadUs > 0 {
+				b.Deadline(id, units.Microseconds(jt.DeadUs))
+			}
+		}
+		// Task precedence edges, resolvable only after all tasks exist.
+		for _, jt := range jg.Tasks {
+			to, _ := b.Lookup(jt.Name)
+			for _, pn := range jt.Preds {
+				from, ok := b.Lookup(pn)
+				if !ok {
+					return nil, fmt.Errorf("model: task %q: unknown predecessor %q", jt.Name, pn)
+				}
+				b.Edge(from, to)
+			}
+		}
+		for _, jm := range jg.Messages {
+			var cl Class
+			switch jm.Class {
+			case "ST":
+				cl = ST
+			case "DYN":
+				cl = DYN
+			default:
+				return nil, fmt.Errorf("model: message %q: unknown class %q", jm.Name, jm.Class)
+			}
+			from, ok := b.Lookup(jm.From)
+			if !ok {
+				return nil, fmt.Errorf("model: message %q: unknown sender %q", jm.Name, jm.From)
+			}
+			to, ok := b.Lookup(jm.To)
+			if !ok {
+				return nil, fmt.Errorf("model: message %q: unknown receiver %q", jm.Name, jm.To)
+			}
+			id := b.Message(jm.Name, cl, units.Microseconds(jm.CommUs), from, to, jm.Priority)
+			if jm.DeadUs > 0 {
+				b.Deadline(id, units.Microseconds(jm.DeadUs))
+			}
+		}
+	}
+	return b.Build()
+}

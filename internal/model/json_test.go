@@ -1,0 +1,140 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := twoNode(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name {
+		t.Errorf("name %q != %q", back.Name, s.Name)
+	}
+	if len(back.App.Acts) != len(s.App.Acts) {
+		t.Fatalf("activities %d != %d", len(back.App.Acts), len(s.App.Acts))
+	}
+	for i := range s.App.Acts {
+		a := &s.App.Acts[i]
+		var ba *Activity
+		for j := range back.App.Acts {
+			if back.App.Acts[j].Name == a.Name {
+				ba = &back.App.Acts[j]
+			}
+		}
+		if ba == nil {
+			t.Fatalf("activity %q lost in round trip", a.Name)
+		}
+		if ba.Kind != a.Kind || ba.Node != a.Node || ba.C != a.C ||
+			ba.Policy != a.Policy || ba.Class != a.Class || ba.Priority != a.Priority {
+			t.Errorf("activity %q changed: %+v vs %+v", a.Name, ba, a)
+		}
+	}
+	if back.App.HyperPeriod() != s.App.HyperPeriod() {
+		t.Errorf("hyper-period changed")
+	}
+}
+
+func TestJSONRoundTripPreservesEdges(t *testing.T) {
+	s := diamond(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The a->b same-node precedence and the two messages must
+	// survive.
+	bID := id(t, back, "b")
+	if n := len(back.App.Act(bID).Preds); n != 1 {
+		t.Errorf("b has %d preds, want 1", n)
+	}
+	lp, err := back.App.LongestPathTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lp[id(t, back, "d")]; got != 640*us {
+		t.Errorf("LP(d) after round trip = %v, want 640µs", got)
+	}
+}
+
+func TestJSONRejectsUnknownPolicy(t *testing.T) {
+	in := `{"name":"x","nodes":1,"graphs":[{"name":"g","period_us":1000,"deadline_us":1000,
+	  "tasks":[{"name":"t","node":0,"wcet_us":10,"policy":"WEIRD"}],"messages":[]}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("unknown policy accepted: %v", err)
+	}
+}
+
+func TestJSONRejectsUnknownClass(t *testing.T) {
+	in := `{"name":"x","nodes":2,"graphs":[{"name":"g","period_us":1000,"deadline_us":1000,
+	  "tasks":[{"name":"t1","node":0,"wcet_us":10,"policy":"SCS"},
+	           {"name":"t2","node":1,"wcet_us":10,"policy":"SCS"}],
+	  "messages":[{"name":"m","class":"BOGUS","comm_us":5,"from":"t1","to":"t2"}]}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Fatalf("unknown class accepted: %v", err)
+	}
+}
+
+func TestJSONRejectsUnknownEndpoint(t *testing.T) {
+	in := `{"name":"x","nodes":2,"graphs":[{"name":"g","period_us":1000,"deadline_us":1000,
+	  "tasks":[{"name":"t1","node":0,"wcet_us":10,"policy":"SCS"}],
+	  "messages":[{"name":"m","class":"ST","comm_us":5,"from":"t1","to":"ghost"}]}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown endpoint accepted: %v", err)
+	}
+}
+
+func TestJSONRejectsUnknownPredecessor(t *testing.T) {
+	in := `{"name":"x","nodes":1,"graphs":[{"name":"g","period_us":1000,"deadline_us":1000,
+	  "tasks":[{"name":"t","node":0,"wcet_us":10,"policy":"SCS","preds":["ghost"]}],"messages":[]}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown predecessor accepted: %v", err)
+	}
+}
+
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	in := `{"name":"x","nodes":1,"bogus_field":true,"graphs":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestJSONPreservesReleaseAndDeadline(t *testing.T) {
+	b := NewBuilder("rd", 2)
+	g := b.Graph("g", 10*ms, 10*ms)
+	t1 := b.Task(g, "t1", 0, 100*us, SCS)
+	t2 := b.Task(g, "t2", 1, 100*us, SCS)
+	b.Message("m", ST, 50*us, t1, t2, 0)
+	b.Release(t1, 500*us)
+	b.Deadline(t2, 4*ms)
+	s := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.App.Act(id(t, back, "t1")).Release; got != 500*us {
+		t.Errorf("release = %v, want 500µs", got)
+	}
+	if got := back.App.Deadline(id(t, back, "t2")); got != 4*ms {
+		t.Errorf("deadline = %v, want 4ms", got)
+	}
+	_ = units.Duration(0)
+}

@@ -1,0 +1,389 @@
+// Package model defines the application model of the paper (Section 4):
+// applications are sets of directed, acyclic, polar task graphs whose
+// vertices are tasks or messages. Tasks are scheduled either with
+// static cyclic scheduling (SCS) or fixed-priority scheduling (FPS);
+// messages are transmitted either in the static (ST) or the dynamic
+// (DYN) segment of the FlexRay bus cycle.
+//
+// The model is deliberately independent of any particular bus
+// configuration: frame identifiers, slot sizes and segment lengths live
+// in package flexray and are the subject of the optimisation.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// NodeID identifies a processing node (ECU) of the platform, numbered
+// from 0. The FlexRay standard identifies sending nodes through slot
+// assignment; we keep plain indices at the model level.
+type NodeID int
+
+// ActID identifies an activity (task or message) inside an Application
+// by its index in Application.Acts.
+type ActID int
+
+// None is the sentinel for "no activity".
+const None ActID = -1
+
+// Kind discriminates tasks from messages in the unified activity graph.
+// The paper treats both uniformly as graph vertices τij.
+type Kind uint8
+
+const (
+	// KindTask is a computation executed on a processing node.
+	KindTask Kind = iota
+	// KindMessage is a communication over the FlexRay bus, inserted
+	// on the arc between a sender and a receiver task.
+	KindMessage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTask:
+		return "task"
+	case KindMessage:
+		return "message"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Policy is the scheduling policy of a task (Section 2): SCS tasks have
+// offline-fixed start times in the schedule table and are not
+// preemptable; FPS tasks run in the slack of the static schedule under
+// preemptive fixed-priority scheduling.
+type Policy uint8
+
+const (
+	// SCS marks static cyclic scheduled (time-triggered) tasks.
+	SCS Policy = iota
+	// FPS marks fixed-priority scheduled (event-triggered) tasks.
+	FPS
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SCS:
+		return "SCS"
+	case FPS:
+		return "FPS"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Class is the transmission class of a message: ST messages are sent in
+// the static segment according to the schedule table, DYN messages in
+// the dynamic segment under FTDMA arbitration.
+type Class uint8
+
+const (
+	// ST marks static-segment messages.
+	ST Class = iota
+	// DYN marks dynamic-segment messages.
+	DYN
+)
+
+func (c Class) String() string {
+	switch c {
+	case ST:
+		return "ST"
+	case DYN:
+		return "DYN"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Activity is a vertex of a task graph: a task or a message. A single
+// struct keeps graph algorithms (topological order, longest paths, list
+// scheduling) uniform, exactly as the paper's τij ranges over both.
+type Activity struct {
+	ID    ActID  // index in Application.Acts
+	Name  string // unique within the application
+	Kind  Kind
+	Graph int // index of the owning task graph in Application.Graphs
+
+	// Node is the processing node executing a task. For messages it
+	// is the *sender* node (derived from the predecessor task and
+	// validated); the bus slot used belongs to this node.
+	Node NodeID
+	// Dst is the receiving node of a message (derived, validated).
+	// Unused for tasks.
+	Dst NodeID
+
+	// C is the worst-case execution time of a task, or the
+	// communication time Cm of a message on the bus (Eq. 1:
+	// Cm = frame_size/bus_speed, precomputed by the caller or via
+	// flexray.BitTime helpers).
+	C units.Duration
+
+	Policy Policy // tasks only; SCS or FPS
+	Class  Class  // messages only; ST or DYN
+
+	// Priority orders FPS tasks on a node and DYN messages sharing a
+	// FrameID. Higher value means higher priority.
+	Priority int
+
+	// Release is an optional release offset relative to the graph
+	// instance release (individual release times, Section 4).
+	Release units.Duration
+
+	// Deadline is the activity's relative deadline measured from the
+	// graph instance release; zero means "inherit the graph
+	// deadline".
+	Deadline units.Duration
+
+	// Preds and Succs are the graph edges (indices into
+	// Application.Acts). A message has exactly one predecessor (the
+	// sender task) and exactly one successor (the receiver task).
+	Preds []ActID
+	Succs []ActID
+}
+
+// IsTask reports whether the activity is a computation.
+func (a *Activity) IsTask() bool { return a.Kind == KindTask }
+
+// IsMessage reports whether the activity is a bus communication.
+func (a *Activity) IsMessage() bool { return a.Kind == KindMessage }
+
+// IsTT reports whether the activity belongs to the statically scheduled
+// (time-triggered) part of the system: SCS tasks and ST messages.
+func (a *Activity) IsTT() bool {
+	if a.Kind == KindTask {
+		return a.Policy == SCS
+	}
+	return a.Class == ST
+}
+
+// IsET reports whether the activity is event-triggered: FPS tasks and
+// DYN messages.
+func (a *Activity) IsET() bool { return !a.IsTT() }
+
+// TaskGraph groups activities that share a period and a deadline
+// (Section 4: all τij in Gi have period TGi; a deadline DGi is imposed
+// on Gi).
+type TaskGraph struct {
+	Name     string
+	Period   units.Duration
+	Deadline units.Duration
+	Acts     []ActID // members, in insertion order
+}
+
+// Platform describes the distributed architecture: processing nodes
+// connected by a single FlexRay channel (Fig. 1).
+type Platform struct {
+	NumNodes  int
+	NodeNames []string // optional; defaults to N1..Nk
+}
+
+// NodeName returns a printable name for node n.
+func (p *Platform) NodeName(n NodeID) string {
+	if int(n) < len(p.NodeNames) && p.NodeNames[n] != "" {
+		return p.NodeNames[n]
+	}
+	return fmt.Sprintf("N%d", int(n)+1)
+}
+
+// Application is a set of task graphs over a shared activity arena.
+type Application struct {
+	Graphs []TaskGraph
+	Acts   []Activity
+}
+
+// System bundles an application with the platform it is mapped on; this
+// is the unit the optimiser configures.
+type System struct {
+	Name     string
+	Platform Platform
+	App      Application
+}
+
+// Act returns the activity with the given id. It panics on a bad id,
+// which always indicates a programming error, not bad input.
+func (app *Application) Act(id ActID) *Activity {
+	return &app.Acts[id]
+}
+
+// Deadline returns the effective relative deadline of an activity: its
+// individual deadline if set, otherwise the owning graph's deadline.
+func (app *Application) Deadline(id ActID) units.Duration {
+	a := app.Act(id)
+	if a.Deadline > 0 {
+		return a.Deadline
+	}
+	return app.Graphs[a.Graph].Deadline
+}
+
+// Period returns the period of the graph owning the activity.
+func (app *Application) Period(id ActID) units.Duration {
+	return app.Graphs[app.Act(id).Graph].Period
+}
+
+// HyperPeriod returns the least common multiple of all graph periods
+// (the horizon over which different-period graphs are combined,
+// Section 4).
+func (app *Application) HyperPeriod() units.Duration {
+	ps := make([]units.Duration, len(app.Graphs))
+	for i, g := range app.Graphs {
+		ps[i] = g.Period
+	}
+	return units.LCMDurations(ps)
+}
+
+// Messages returns the ids of all messages, optionally filtered by
+// class. Pass -1 to get every message.
+func (app *Application) Messages(class int) []ActID {
+	var out []ActID
+	for i := range app.Acts {
+		a := &app.Acts[i]
+		if !a.IsMessage() {
+			continue
+		}
+		if class >= 0 && a.Class != Class(class) {
+			continue
+		}
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+// Tasks returns the ids of all tasks, optionally filtered by policy.
+// Pass -1 to get every task.
+func (app *Application) Tasks(policy int) []ActID {
+	var out []ActID
+	for i := range app.Acts {
+		a := &app.Acts[i]
+		if !a.IsTask() {
+			continue
+		}
+		if policy >= 0 && a.Policy != Policy(policy) {
+			continue
+		}
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+// Sender returns the sending task of a message.
+func (app *Application) Sender(m ActID) *Activity {
+	a := app.Act(m)
+	if !a.IsMessage() || len(a.Preds) != 1 {
+		panic(fmt.Sprintf("model: Sender(%d): not a well-formed message", m))
+	}
+	return app.Act(a.Preds[0])
+}
+
+// Receiver returns the receiving task of a message.
+func (app *Application) Receiver(m ActID) *Activity {
+	a := app.Act(m)
+	if !a.IsMessage() || len(a.Succs) != 1 {
+		panic(fmt.Sprintf("model: Receiver(%d): not a well-formed message", m))
+	}
+	return app.Act(a.Succs[0])
+}
+
+// STSenderNodes returns the set of nodes that send at least one ST
+// message; the minimum number of static slots is its cardinality
+// (nodesST in the BBC algorithm, Fig. 5 line 2).
+func (app *Application) STSenderNodes() []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for i := range app.Acts {
+		a := &app.Acts[i]
+		if a.IsMessage() && a.Class == ST && !seen[a.Node] {
+			seen[a.Node] = true
+			out = append(out, a.Node)
+		}
+	}
+	return out
+}
+
+// DYNSenderNodes returns the set of nodes that send at least one DYN
+// message.
+func (app *Application) DYNSenderNodes() []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for i := range app.Acts {
+		a := &app.Acts[i]
+		if a.IsMessage() && a.Class == DYN && !seen[a.Node] {
+			seen[a.Node] = true
+			out = append(out, a.Node)
+		}
+	}
+	return out
+}
+
+// MaxC returns the largest C among activities selected by keep, or zero
+// if none match.
+func (app *Application) MaxC(keep func(*Activity) bool) units.Duration {
+	var max units.Duration
+	for i := range app.Acts {
+		a := &app.Acts[i]
+		if keep(a) && a.C > max {
+			max = a.C
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the system (the optimiser mutates
+// candidate configurations, never the model, but experiments clone
+// systems to run variants in parallel).
+func (s *System) Clone() *System {
+	c := &System{Name: s.Name, Platform: s.Platform}
+	c.Platform.NodeNames = append([]string(nil), s.Platform.NodeNames...)
+	c.App.Graphs = make([]TaskGraph, len(s.App.Graphs))
+	for i, g := range s.App.Graphs {
+		cg := g
+		cg.Acts = append([]ActID(nil), g.Acts...)
+		c.App.Graphs[i] = cg
+	}
+	c.App.Acts = make([]Activity, len(s.App.Acts))
+	for i, a := range s.App.Acts {
+		ca := a
+		ca.Preds = append([]ActID(nil), a.Preds...)
+		ca.Succs = append([]ActID(nil), a.Succs...)
+		c.App.Acts[i] = ca
+	}
+	return c
+}
+
+// NodeUtilisation returns per-node CPU utilisation: the sum over tasks
+// on the node of C/T. The generator targets the 30-60% band of
+// Section 7 with this measure.
+func (s *System) NodeUtilisation() []float64 {
+	u := make([]float64, s.Platform.NumNodes)
+	for i := range s.App.Acts {
+		a := &s.App.Acts[i]
+		if !a.IsTask() {
+			continue
+		}
+		t := s.App.Period(a.ID)
+		if t > 0 {
+			u[a.Node] += float64(a.C) / float64(t)
+		}
+	}
+	return u
+}
+
+// BusUtilisation returns the fraction of bus time consumed by all
+// messages (ST and DYN) at their periods; the generator targets the
+// 10-70% band of Section 7.
+func (s *System) BusUtilisation() float64 {
+	var u float64
+	for i := range s.App.Acts {
+		a := &s.App.Acts[i]
+		if !a.IsMessage() {
+			continue
+		}
+		t := s.App.Period(a.ID)
+		if t > 0 {
+			u += float64(a.C) / float64(t)
+		}
+	}
+	return u
+}

@@ -1,0 +1,241 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+const (
+	us = units.Microsecond
+	ms = units.Millisecond
+)
+
+// twoNode builds the canonical test fixture: a TT producer/consumer
+// pair with an ST message, and an ET pair with a DYN message, on two
+// nodes.
+func twoNode(t testing.TB) *System {
+	t.Helper()
+	b := NewBuilder("fixture", 2)
+	g1 := b.Graph("tt", 10*ms, 10*ms)
+	p := b.Task(g1, "prod", 0, 100*us, SCS)
+	c := b.Task(g1, "cons", 1, 200*us, SCS)
+	b.Message("m_st", ST, 50*us, p, c, 0)
+	g2 := b.Graph("et", 20*ms, 20*ms)
+	e1 := b.PrioTask(g2, "e1", 1, 150*us, 2)
+	e2 := b.PrioTask(g2, "e2", 0, 250*us, 1)
+	b.Message("m_dyn", DYN, 80*us, e1, e2, 3)
+	return b.MustBuild()
+}
+
+func id(t testing.TB, s *System, name string) ActID {
+	t.Helper()
+	for i := range s.App.Acts {
+		if s.App.Acts[i].Name == name {
+			return s.App.Acts[i].ID
+		}
+	}
+	t.Fatalf("no activity %q", name)
+	return None
+}
+
+func TestBuilderConstructsValidSystem(t *testing.T) {
+	s := twoNode(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	if got := len(s.App.Acts); got != 6 {
+		t.Errorf("activities = %d, want 6 (4 tasks + 2 messages)", got)
+	}
+	if got := len(s.App.Graphs); got != 2 {
+		t.Errorf("graphs = %d, want 2", got)
+	}
+}
+
+func TestBuilderRejectsDuplicateNames(t *testing.T) {
+	b := NewBuilder("dup", 1)
+	g := b.Graph("g", ms, ms)
+	b.Task(g, "t", 0, us, SCS)
+	b.Task(g, "t", 0, us, SCS)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestBuilderRejectsMessageBetweenNonTasks(t *testing.T) {
+	b := NewBuilder("bad", 2)
+	g := b.Graph("g", ms, ms)
+	t1 := b.Task(g, "t1", 0, us, SCS)
+	t2 := b.Task(g, "t2", 1, us, SCS)
+	m := b.Message("m", ST, us, t1, t2, 0)
+	// A message cannot terminate another message.
+	b.Message("m2", ST, us, m, t2, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("message-to-message edge accepted")
+	}
+}
+
+func TestMessageDerivesEndpoints(t *testing.T) {
+	s := twoNode(t)
+	m := id(t, s, "m_st")
+	a := s.App.Act(m)
+	if a.Node != 0 || a.Dst != 1 {
+		t.Errorf("message endpoints %d->%d, want 0->1", a.Node, a.Dst)
+	}
+	if s.App.Sender(m).Name != "prod" || s.App.Receiver(m).Name != "cons" {
+		t.Errorf("sender/receiver resolution wrong")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	s := twoNode(t)
+	cases := []struct {
+		name string
+		task bool
+		tt   bool
+	}{
+		{"prod", true, true},
+		{"e1", true, false},
+		{"m_st", false, true},
+		{"m_dyn", false, false},
+	}
+	for _, c := range cases {
+		a := s.App.Act(id(t, s, c.name))
+		if a.IsTask() != c.task {
+			t.Errorf("%s: IsTask = %v", c.name, a.IsTask())
+		}
+		if a.IsTT() != c.tt {
+			t.Errorf("%s: IsTT = %v", c.name, a.IsTT())
+		}
+		if a.IsET() == c.tt {
+			t.Errorf("%s: IsET = %v", c.name, a.IsET())
+		}
+	}
+}
+
+func TestDeadlineInheritance(t *testing.T) {
+	s := twoNode(t)
+	prod := id(t, s, "prod")
+	if got := s.App.Deadline(prod); got != 10*ms {
+		t.Errorf("inherited deadline = %v, want graph deadline 10ms", got)
+	}
+	s.App.Acts[prod].Deadline = 3 * ms
+	if got := s.App.Deadline(prod); got != 3*ms {
+		t.Errorf("individual deadline = %v, want 3ms", got)
+	}
+}
+
+func TestHyperPeriod(t *testing.T) {
+	s := twoNode(t)
+	if got := s.App.HyperPeriod(); got != 20*ms {
+		t.Errorf("hyper-period = %v, want 20ms (lcm of 10 and 20)", got)
+	}
+}
+
+func TestMessagesAndTasksFilters(t *testing.T) {
+	s := twoNode(t)
+	if got := len(s.App.Messages(-1)); got != 2 {
+		t.Errorf("all messages = %d", got)
+	}
+	if got := len(s.App.Messages(int(ST))); got != 1 {
+		t.Errorf("ST messages = %d", got)
+	}
+	if got := len(s.App.Messages(int(DYN))); got != 1 {
+		t.Errorf("DYN messages = %d", got)
+	}
+	if got := len(s.App.Tasks(-1)); got != 4 {
+		t.Errorf("all tasks = %d", got)
+	}
+	if got := len(s.App.Tasks(int(SCS))); got != 2 {
+		t.Errorf("SCS tasks = %d", got)
+	}
+	if got := len(s.App.Tasks(int(FPS))); got != 2 {
+		t.Errorf("FPS tasks = %d", got)
+	}
+}
+
+func TestSenderNodeSets(t *testing.T) {
+	s := twoNode(t)
+	st := s.App.STSenderNodes()
+	if len(st) != 1 || st[0] != 0 {
+		t.Errorf("STSenderNodes = %v, want [0]", st)
+	}
+	dyn := s.App.DYNSenderNodes()
+	if len(dyn) != 1 || dyn[0] != 1 {
+		t.Errorf("DYNSenderNodes = %v, want [1]", dyn)
+	}
+}
+
+func TestMaxC(t *testing.T) {
+	s := twoNode(t)
+	got := s.App.MaxC(func(a *Activity) bool { return a.IsMessage() })
+	if got != 80*us {
+		t.Errorf("MaxC(messages) = %v, want 80µs", got)
+	}
+	got = s.App.MaxC(func(a *Activity) bool { return false })
+	if got != 0 {
+		t.Errorf("MaxC(none) = %v, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := twoNode(t)
+	c := s.Clone()
+	c.App.Acts[0].C = 999 * us
+	c.App.Acts[0].Succs = append(c.App.Acts[0].Succs, 3)
+	c.App.Graphs[0].Acts = append(c.App.Graphs[0].Acts, 0)
+	if s.App.Acts[0].C == 999*us {
+		t.Error("Clone shares activity storage")
+	}
+	if len(s.App.Acts[0].Succs) == len(c.App.Acts[0].Succs) {
+		t.Error("Clone shares edge slices")
+	}
+	if len(s.App.Graphs[0].Acts) == len(c.App.Graphs[0].Acts) {
+		t.Error("Clone shares graph membership")
+	}
+}
+
+func TestNodeUtilisation(t *testing.T) {
+	s := twoNode(t)
+	u := s.NodeUtilisation()
+	// Node 0: prod 100µs/10ms + e2 250µs/20ms = 0.01 + 0.0125.
+	want0 := 0.0225
+	if diff := u[0] - want0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("node 0 utilisation = %v, want %v", u[0], want0)
+	}
+}
+
+func TestBusUtilisation(t *testing.T) {
+	s := twoNode(t)
+	// 50µs/10ms + 80µs/20ms = 0.005 + 0.004.
+	want := 0.009
+	if got := s.BusUtilisation(); got-want > 1e-9 || want-got > 1e-9 {
+		t.Errorf("bus utilisation = %v, want %v", got, want)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KindTask.String() != "task" || KindMessage.String() != "message" {
+		t.Error("Kind.String wrong")
+	}
+	if SCS.String() != "SCS" || FPS.String() != "FPS" {
+		t.Error("Policy.String wrong")
+	}
+	if ST.String() != "ST" || DYN.String() != "DYN" {
+		t.Error("Class.String wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind should embed its value")
+	}
+}
+
+func TestPlatformNodeName(t *testing.T) {
+	p := Platform{NumNodes: 2, NodeNames: []string{"Engine"}}
+	if p.NodeName(0) != "Engine" {
+		t.Errorf("named node = %q", p.NodeName(0))
+	}
+	if p.NodeName(1) != "N2" {
+		t.Errorf("default node name = %q", p.NodeName(1))
+	}
+}

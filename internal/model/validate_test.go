@@ -1,0 +1,159 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// breakSystem applies a mutation to a valid system and asserts that
+// Validate rejects it with a message containing want.
+func breakSystem(t *testing.T, want string, mutate func(*System)) {
+	t.Helper()
+	s := twoNode(t)
+	mutate(s)
+	err := s.Validate()
+	if err == nil {
+		t.Fatalf("mutation %q accepted", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestValidateRejectsNoNodes(t *testing.T) {
+	breakSystem(t, "nodes", func(s *System) { s.Platform.NumNodes = 0 })
+}
+
+func TestValidateRejectsNonPositivePeriod(t *testing.T) {
+	breakSystem(t, "period", func(s *System) { s.App.Graphs[0].Period = 0 })
+}
+
+func TestValidateRejectsNonPositiveGraphDeadline(t *testing.T) {
+	breakSystem(t, "deadline", func(s *System) { s.App.Graphs[0].Deadline = -1 })
+}
+
+func TestValidateRejectsBadNode(t *testing.T) {
+	breakSystem(t, "out of range", func(s *System) { s.App.Acts[0].Node = 7 })
+}
+
+func TestValidateRejectsNonPositiveMessageTime(t *testing.T) {
+	breakSystem(t, "non-positive C", func(s *System) {
+		for i := range s.App.Acts {
+			if s.App.Acts[i].IsMessage() {
+				s.App.Acts[i].C = 0
+				return
+			}
+		}
+	})
+}
+
+func TestValidateAcceptsZeroWCETTask(t *testing.T) {
+	s := twoNode(t)
+	s.App.Acts[0].C = 0
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero-WCET task rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeWCET(t *testing.T) {
+	breakSystem(t, "negative WCET", func(s *System) { s.App.Acts[0].C = -1 })
+}
+
+func TestValidateRejectsAsymmetricEdge(t *testing.T) {
+	breakSystem(t, "not symmetric", func(s *System) {
+		// cons lists prod as predecessor without the reverse.
+		prod := ActID(0)
+		for i := range s.App.Acts {
+			if s.App.Acts[i].Name == "cons" {
+				s.App.Acts[i].Preds = append(s.App.Acts[i].Preds, prod)
+			}
+		}
+	})
+}
+
+func TestValidateRejectsSameNodeMessage(t *testing.T) {
+	breakSystem(t, "same node", func(s *System) {
+		// Move the receiver onto the sender's node.
+		for i := range s.App.Acts {
+			if s.App.Acts[i].Name == "cons" {
+				s.App.Acts[i].Node = 0
+			}
+			if s.App.Acts[i].Name == "m_st" {
+				s.App.Acts[i].Dst = 0
+			}
+		}
+	})
+}
+
+func TestValidateRejectsSTWithFPSSender(t *testing.T) {
+	breakSystem(t, "is not SCS", func(s *System) {
+		for i := range s.App.Acts {
+			if s.App.Acts[i].Name == "prod" {
+				s.App.Acts[i].Policy = FPS
+			}
+		}
+	})
+}
+
+func TestValidateRejectsTTAfterET(t *testing.T) {
+	// An SCS task fed by a DYN message has no statically known
+	// release: the schedule table cannot host it.
+	b := NewBuilder("ttafteret", 2)
+	g := b.Graph("g", 10*ms, 10*ms)
+	e := b.PrioTask(g, "e", 0, 100*us, 1)
+	scs := b.Task(g, "s", 1, 100*us, SCS)
+	b.Message("m", DYN, 50*us, e, scs, 1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "depends on ET") {
+		t.Fatalf("TT-after-ET accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsDanglingMessage(t *testing.T) {
+	breakSystem(t, "exactly one sender", func(s *System) {
+		for i := range s.App.Acts {
+			if s.App.Acts[i].Name == "m_st" {
+				s.App.Acts[i].Preds = nil
+			}
+			if s.App.Acts[i].Name == "prod" {
+				s.App.Acts[i].Succs = nil
+			}
+		}
+	})
+}
+
+func TestValidateRejectsWrongMessageNodeCache(t *testing.T) {
+	breakSystem(t, "differs from sender node", func(s *System) {
+		for i := range s.App.Acts {
+			if s.App.Acts[i].Name == "m_st" {
+				s.App.Acts[i].Node = 1
+				s.App.Acts[i].Dst = 0
+			}
+		}
+	})
+}
+
+func TestValidateRejectsEmptyGraph(t *testing.T) {
+	s := twoNode(t)
+	s.App.Graphs = append(s.App.Graphs, TaskGraph{Name: "empty", Period: ms, Deadline: ms})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty graph accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeRelease(t *testing.T) {
+	breakSystem(t, "negative release", func(s *System) { s.App.Acts[0].Release = -1 })
+}
+
+func TestValidateAggregatesAllViolations(t *testing.T) {
+	s := twoNode(t)
+	s.Platform.NumNodes = 0
+	s.App.Graphs[0].Period = 0
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("invalid system accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nodes") || !strings.Contains(msg, "period") {
+		t.Errorf("expected both violations in %q", msg)
+	}
+}

@@ -1,0 +1,203 @@
+// Package sched implements the global scheduling algorithm of Fig. 2:
+// a list scheduler that builds the static schedule table (start times
+// for SCS tasks, slot assignments for ST messages) over the application
+// hyper-period, ordering the ready list by a modified critical-path
+// metric (ref [12]) and — optionally — placing each SCS task where the
+// holistic analysis reports the least damage to FPS tasks and DYN
+// messages (schedule_TT_task, Fig. 2 lines 10-12).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/flexray"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/units"
+)
+
+// Options tune the scheduler.
+type Options struct {
+	// PlacementCandidates is the number of alternative start times
+	// evaluated for each SCS task. 1 means plain first-fit (no
+	// holistic evaluation); larger values implement Fig. 2 line 11
+	// by running the analysis for each candidate gap and keeping the
+	// cheapest. The paper's approach corresponds to values > 1; the
+	// experiments default to 1 for the outer optimisation loops and
+	// use 3 for the final configuration.
+	PlacementCandidates int
+	// Analysis options used for candidate evaluation and the final
+	// run.
+	Analysis analysis.Options
+}
+
+// DefaultOptions returns first-fit placement with default analysis.
+func DefaultOptions() Options {
+	return Options{PlacementCandidates: 1, Analysis: analysis.DefaultOptions()}
+}
+
+// instKey identifies one instance of a TT activity inside the
+// hyper-period.
+type instKey struct {
+	act  model.ActID
+	inst int
+}
+
+// Build runs the global scheduling algorithm for the given bus
+// configuration: it constructs the static schedule table for every
+// instance of every TT activity inside the hyper-period and then runs
+// the holistic analysis once over the completed table. Scheduling
+// failures (an ST message that finds no slot) are reported as an
+// error; an unschedulable-but-constructible system is NOT an error —
+// the cost function of the returned result captures it.
+func Build(sys *model.System, cfg *flexray.Config, opts Options) (*schedule.Table, *analysis.Result, error) {
+	app := &sys.App
+	horizon := app.HyperPeriod()
+	table := schedule.New(cfg, horizon)
+
+	type node struct {
+		key      instKey
+		release  units.Time // graph instance release + own offset
+		asap     units.Time
+		remain   units.Duration // critical-path priority
+		pendPred int            // unscheduled TT predecessors
+	}
+	nodes := map[instKey]*node{}
+	var ready []*node
+
+	// Instantiate every TT activity for each graph instance in the
+	// hyper-period.
+	for g := range app.Graphs {
+		tg := &app.Graphs[g]
+		rp, err := app.RemainingPath(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := int64(horizon / tg.Period)
+		if n == 0 {
+			n = 1
+		}
+		for inst := int64(0); inst < n; inst++ {
+			base := units.Time(int64(tg.Period) * inst)
+			for _, id := range tg.Acts {
+				a := app.Act(id)
+				if !a.IsTT() {
+					continue
+				}
+				pend := 0
+				for _, p := range a.Preds {
+					if app.Act(p).IsTT() {
+						pend++
+					}
+				}
+				nd := &node{
+					key:      instKey{id, int(inst)},
+					release:  base.Add(a.Release),
+					remain:   rp[id],
+					pendPred: pend,
+				}
+				nd.asap = nd.release
+				nodes[nd.key] = nd
+				if pend == 0 {
+					ready = append(ready, nd)
+				}
+			}
+		}
+	}
+
+	finish := func(nd *node, f units.Time) {
+		a := app.Act(nd.key.act)
+		for _, s := range a.Succs {
+			sa := app.Act(s)
+			if !sa.IsTT() {
+				continue
+			}
+			sk := instKey{s, nd.key.inst}
+			sn, ok := nodes[sk]
+			if !ok {
+				continue
+			}
+			if f > sn.asap {
+				sn.asap = f
+			}
+			sn.pendPred--
+			if sn.pendPred == 0 {
+				ready = append(ready, sn)
+			}
+		}
+	}
+
+	for len(ready) > 0 {
+		// Select the ready activity with the greatest remaining
+		// critical path (Fig. 2 line 2); earliest ASAP breaks ties,
+		// then id for determinism.
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if a.remain != b.remain {
+				return a.remain > b.remain
+			}
+			if a.asap != b.asap {
+				return a.asap < b.asap
+			}
+			if a.key.act != b.key.act {
+				return a.key.act < b.key.act
+			}
+			return a.key.inst < b.key.inst
+		})
+		nd := ready[0]
+		ready = ready[1:]
+		a := app.Act(nd.key.act)
+
+		if a.IsTask() {
+			start, err := placeTask(sys, cfg, table, nd.key, a, nd.asap, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			finish(nd, start.Add(a.C))
+		} else {
+			e, err := table.PlaceMessage(app, nd.key.act, nd.key.inst, nd.asap)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sched: %w", err)
+			}
+			finish(nd, e.Delivery)
+		}
+	}
+
+	res := analysis.New(sys, cfg, table, opts.Analysis).Run()
+	return table, res, nil
+}
+
+// placeTask implements schedule_TT_task: it finds candidate start
+// times at or after the task's ASAP and keeps the one the holistic
+// analysis likes best (or plain first-fit when only one candidate is
+// requested).
+func placeTask(sys *model.System, cfg *flexray.Config, table *schedule.Table,
+	key instKey, a *model.Activity, asap units.Time, opts Options) (units.Time, error) {
+
+	k := opts.PlacementCandidates
+	if k <= 1 {
+		start := table.FirstGap(a.Node, asap, a.C)
+		return start, table.PlaceTask(key.act, key.inst, a.Node, start, a.C)
+	}
+
+	cands := table.Gaps(a.Node, asap, a.C, k)
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("sched: no gap for task %q on node %d", a.Name, a.Node)
+	}
+	bestIdx := 0
+	bestCost := 0.0
+	for i, start := range cands {
+		trial := table.Clone()
+		if err := trial.PlaceTask(key.act, key.inst, a.Node, start, a.C); err != nil {
+			continue
+		}
+		res := analysis.New(sys, cfg, trial, opts.Analysis).Run()
+		if i == 0 || res.Cost < bestCost {
+			bestIdx, bestCost = i, res.Cost
+		}
+	}
+	start := cands[bestIdx]
+	return start, table.PlaceTask(key.act, key.inst, a.Node, start, a.C)
+}

@@ -1,0 +1,35 @@
+package schedule
+
+import (
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// Clone deep-copies the table. The global scheduling algorithm clones
+// tables to evaluate alternative placements of an SCS task against the
+// holistic analysis before committing one (Fig. 2 line 11).
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Cfg:      t.Cfg,
+		Horizon:  t.Horizon,
+		Tasks:    append([]TaskEntry(nil), t.Tasks...),
+		Msgs:     append([]MsgEntry(nil), t.Msgs...),
+		nodeBusy: make(map[model.NodeID][]Interval, len(t.nodeBusy)),
+		slotUsed: make(map[slotKey]units.Duration, len(t.slotUsed)),
+		taskAt:   make(map[model.ActID][]int, len(t.taskAt)),
+		msgAt:    make(map[model.ActID][]int, len(t.msgAt)),
+	}
+	for k, v := range t.nodeBusy {
+		c.nodeBusy[k] = append([]Interval(nil), v...)
+	}
+	for k, v := range t.slotUsed {
+		c.slotUsed[k] = v
+	}
+	for k, v := range t.taskAt {
+		c.taskAt[k] = append([]int(nil), v...)
+	}
+	for k, v := range t.msgAt {
+		c.msgAt[k] = append([]int(nil), v...)
+	}
+	return c
+}

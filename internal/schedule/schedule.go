@@ -1,0 +1,411 @@
+// Package schedule holds the static schedule table built by the global
+// scheduling algorithm: offline-fixed start times for SCS tasks on
+// their nodes and slot/cycle assignments for ST messages (Section 2:
+// "the CPU in each node holds a schedule table with their transmission
+// times", e.g. entry "2/2" = second slot of the second ST cycle).
+//
+// The table also answers the two queries the holistic analysis needs:
+// per-node processor availability (FPS tasks execute only in the slack
+// of the SCS schedule) and per-slot occupancy (ST frame packing).
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flexray"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// Interval is a half-open busy interval [Start, End) on a node.
+type Interval struct {
+	Start units.Time
+	End   units.Time
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() units.Duration { return units.Duration(iv.End - iv.Start) }
+
+// TaskEntry records the offline-fixed execution window of one instance
+// of an SCS task.
+type TaskEntry struct {
+	Act      model.ActID
+	Instance int // graph instance index within the hyper-period
+	Node     model.NodeID
+	Start    units.Time
+	End      units.Time
+}
+
+// MsgEntry records the slot assignment of one instance of an ST
+// message: which static slot of which bus cycle carries it, and where
+// inside the frame it is packed.
+type MsgEntry struct {
+	Act      model.ActID
+	Instance int
+	Cycle    int64          // bus cycle index (0-based)
+	Slot     int            // static slot number (1-based)
+	Offset   units.Duration // position of the message inside the frame
+	TxStart  units.Time     // slot start + Offset
+	Delivery units.Time     // slot end: receivers see the frame here
+}
+
+type slotKey struct {
+	cycle int64
+	slot  int
+}
+
+// Table is a static schedule over a horizon (the application
+// hyper-period). The schedule repeats with period Horizon.
+type Table struct {
+	Cfg     *flexray.Config
+	Horizon units.Duration
+
+	Tasks []TaskEntry
+	Msgs  []MsgEntry
+
+	nodeBusy map[model.NodeID][]Interval // sorted, non-overlapping
+	slotUsed map[slotKey]units.Duration  // packed payload per slot instance
+	taskAt   map[model.ActID][]int       // act -> indices into Tasks
+	msgAt    map[model.ActID][]int       // act -> indices into Msgs
+}
+
+// New returns an empty table for the given bus configuration and
+// horizon.
+func New(cfg *flexray.Config, horizon units.Duration) *Table {
+	return &Table{
+		Cfg:      cfg,
+		Horizon:  horizon,
+		nodeBusy: map[model.NodeID][]Interval{},
+		slotUsed: map[slotKey]units.Duration{},
+		taskAt:   map[model.ActID][]int{},
+		msgAt:    map[model.ActID][]int{},
+	}
+}
+
+// PlaceTask reserves [start, start+c) on the node for an SCS task
+// instance. It fails if the window overlaps an existing reservation:
+// SCS tasks are not preemptable (Section 2).
+func (t *Table) PlaceTask(act model.ActID, instance int, node model.NodeID, start units.Time, c units.Duration) error {
+	iv := Interval{start, start.Add(c)}
+	busy := t.nodeBusy[node]
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].End > iv.Start })
+	if i < len(busy) && busy[i].Start < iv.End {
+		return fmt.Errorf("schedule: task %d overlaps busy interval [%v,%v) on node %d",
+			act, busy[i].Start, busy[i].End, node)
+	}
+	t.nodeBusy[node] = append(busy[:i:i], append([]Interval{iv}, busy[i:]...)...)
+	t.Tasks = append(t.Tasks, TaskEntry{act, instance, node, iv.Start, iv.End})
+	t.taskAt[act] = append(t.taskAt[act], len(t.Tasks)-1)
+	return nil
+}
+
+// FirstGap returns the earliest start >= earliest at which the node has
+// c contiguous free time.
+func (t *Table) FirstGap(node model.NodeID, earliest units.Time, c units.Duration) units.Time {
+	start := earliest
+	for _, iv := range t.nodeBusy[node] {
+		if iv.End <= start {
+			continue
+		}
+		if iv.Start >= start.Add(c) {
+			break // the gap before iv is wide enough
+		}
+		start = iv.End
+	}
+	return start
+}
+
+// Gaps returns up to max candidate start times >= earliest at which the
+// node can host c contiguous units: the first fit plus the starts of
+// subsequent free gaps. The global scheduler evaluates these as
+// placement candidates for schedule_TT_task (Fig. 2 line 11).
+func (t *Table) Gaps(node model.NodeID, earliest units.Time, c units.Duration, max int) []units.Time {
+	var out []units.Time
+	start := earliest
+	busy := t.nodeBusy[node]
+	i := 0
+	for len(out) < max {
+		for i < len(busy) && busy[i].End <= start {
+			i++
+		}
+		if i >= len(busy) {
+			out = append(out, start)
+			break
+		}
+		if busy[i].Start >= start.Add(c) {
+			out = append(out, start)
+			start = busy[i].End
+			i++
+			continue
+		}
+		start = busy[i].End
+		i++
+	}
+	return out
+}
+
+// PlaceMessage assigns an ST message instance to the first static slot
+// of its sender node whose start is >= ready (the frame buffer is read
+// by the controller at the beginning of the slot, Section 3) and which
+// has room left for packing. It returns the resulting entry.
+func (t *Table) PlaceMessage(app *model.Application, m model.ActID, instance int, ready units.Time) (MsgEntry, error) {
+	a := app.Act(m)
+	slots := t.Cfg.SlotsOfNode(a.Node)
+	if len(slots) == 0 {
+		return MsgEntry{}, fmt.Errorf("schedule: node %d of ST message %q owns no static slot", a.Node, a.Name)
+	}
+	if a.C > t.Cfg.StaticSlotLen {
+		return MsgEntry{}, fmt.Errorf("schedule: ST message %q (%v) larger than slot (%v)", a.Name, a.C, t.Cfg.StaticSlotLen)
+	}
+	// Scan slot instances in time order starting from the cycle
+	// containing `ready`. A schedulable message finds a slot within
+	// one repetition of the bus schedule; the scan deliberately
+	// extends several horizons further so that overloaded
+	// configurations (e.g. gigantic bus cycles that starve ST
+	// throughput) still produce a schedule — with response times that
+	// the cost function punishes — instead of a hard failure.
+	cy := t.Cfg.CycleOf(ready)
+	if cy < 0 {
+		cy = 0
+	}
+	maxCycle := cy + 4*(int64(units.CeilDiv(int64(t.Horizon), int64(t.Cfg.Cycle())))+1)
+	for ; cy <= maxCycle; cy++ {
+		for _, slot := range slots {
+			start := t.Cfg.StaticSlotStart(cy, slot)
+			if start < ready {
+				continue
+			}
+			key := slotKey{cy, slot}
+			used := t.slotUsed[key]
+			if used+a.C > t.Cfg.StaticSlotLen {
+				continue // frame full
+			}
+			e := MsgEntry{
+				Act: m, Instance: instance, Cycle: cy, Slot: slot,
+				Offset:   used,
+				TxStart:  start.Add(used),
+				Delivery: t.Cfg.StaticSlotEnd(cy, slot),
+			}
+			t.slotUsed[key] = used + a.C
+			t.Msgs = append(t.Msgs, e)
+			t.msgAt[m] = append(t.msgAt[m], len(t.Msgs)-1)
+			return e, nil
+		}
+	}
+	return MsgEntry{}, fmt.Errorf("schedule: no slot instance for ST message %q after %v", a.Name, ready)
+}
+
+// TaskEntries returns the table entries of one SCS task (all
+// instances).
+func (t *Table) TaskEntries(a model.ActID) []TaskEntry {
+	out := make([]TaskEntry, 0, len(t.taskAt[a]))
+	for _, i := range t.taskAt[a] {
+		out = append(out, t.Tasks[i])
+	}
+	return out
+}
+
+// MsgEntries returns the table entries of one ST message (all
+// instances).
+func (t *Table) MsgEntries(a model.ActID) []MsgEntry {
+	out := make([]MsgEntry, 0, len(t.msgAt[a]))
+	for _, i := range t.msgAt[a] {
+		out = append(out, t.Msgs[i])
+	}
+	return out
+}
+
+// Busy returns the node's busy intervals (sorted, non-overlapping).
+// The returned slice must not be modified.
+func (t *Table) Busy(node model.NodeID) []Interval { return t.nodeBusy[node] }
+
+// SlotContent returns the messages packed into the given slot instance,
+// in packing order.
+func (t *Table) SlotContent(cycle int64, slot int) []MsgEntry {
+	var out []MsgEntry
+	for _, e := range t.Msgs {
+		if e.Cycle == cycle && e.Slot == slot {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+// foldedBusy returns the node's busy intervals folded into [0,
+// Horizon): intervals that cross the horizon are split and wrapped.
+// The static schedule is periodic with the hyper-period, so FPS
+// availability queries see this folded, repeating pattern.
+func (t *Table) foldedBusy(node model.NodeID) []Interval {
+	if t.Horizon <= 0 {
+		return t.nodeBusy[node]
+	}
+	h := int64(t.Horizon)
+	var folded []Interval
+	for _, iv := range t.nodeBusy[node] {
+		s, e := int64(iv.Start), int64(iv.End)
+		for s < e {
+			fs := ((s % h) + h) % h
+			span := e - s
+			if fs+span > h {
+				span = h - fs
+			}
+			folded = append(folded, Interval{units.Time(fs), units.Time(fs + span)})
+			s += span
+		}
+	}
+	sort.Slice(folded, func(i, j int) bool { return folded[i].Start < folded[j].Start })
+	// Merge: wrapping can create adjacency or overlap.
+	var merged []Interval
+	for _, iv := range folded {
+		if n := len(merged); n > 0 && iv.Start <= merged[n-1].End {
+			if iv.End > merged[n-1].End {
+				merged[n-1].End = iv.End
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// Availability precomputes a periodic processor-supply function for the
+// node, used by the FPS response-time analysis: how much CPU time is
+// free for FPS tasks in any window, given that SCS reservations block
+// it.
+type Availability struct {
+	horizon units.Duration
+	busy    []Interval // folded into one period, merged
+	// busyPrefix[i] = total busy time in [0, busy[i].End)
+	busyPrefix []units.Duration
+	totalBusy  units.Duration
+}
+
+// Availability builds the supply function for one node.
+func (t *Table) Availability(node model.NodeID) *Availability {
+	av := &Availability{horizon: t.Horizon, busy: t.foldedBusy(node)}
+	var acc units.Duration
+	av.busyPrefix = make([]units.Duration, len(av.busy))
+	for i, iv := range av.busy {
+		acc += iv.Len()
+		av.busyPrefix[i] = acc
+	}
+	av.totalBusy = acc
+	return av
+}
+
+// busyBefore returns the busy time inside [0, x) of a single period,
+// 0 <= x <= horizon.
+func (av *Availability) busyBefore(x units.Time) units.Duration {
+	i := sort.Search(len(av.busy), func(i int) bool { return av.busy[i].End >= x })
+	var b units.Duration
+	if i > 0 {
+		b = av.busyPrefix[i-1]
+	}
+	if i < len(av.busy) && av.busy[i].Start < x {
+		b += units.Duration(x - av.busy[i].Start)
+	}
+	return b
+}
+
+// FreeIn returns the processor time not reserved by SCS tasks inside
+// the absolute window [a, b), treating the schedule as periodic with
+// the horizon.
+func (av *Availability) FreeIn(a, b units.Time) units.Duration {
+	if b <= a {
+		return 0
+	}
+	if av.horizon <= 0 || len(av.busy) == 0 {
+		return units.Duration(b - a)
+	}
+	h := int64(av.horizon)
+	total := units.Duration(b - a)
+	busyAt := func(x units.Time) units.Duration {
+		full := int64(x) / h
+		rem := int64(x) % h
+		if rem < 0 { // negative instants fold like positive ones
+			full--
+			rem += h
+		}
+		return units.Duration(full)*av.totalBusy + av.busyBefore(units.Time(rem))
+	}
+	busy := busyAt(b) - busyAt(a)
+	return total - busy
+}
+
+// Advance returns the earliest instant e >= from such that the free
+// time in [from, e) is at least demand; this is the completion instant
+// of an FPS workload of `demand` units released at `from`. It returns
+// saturation (Time(Infinite)) if the node never accumulates the
+// demand, which happens only when the static schedule leaves no slack
+// at all.
+func (av *Availability) Advance(from units.Time, demand units.Duration) units.Time {
+	if demand <= 0 {
+		return from
+	}
+	if av.horizon <= 0 || len(av.busy) == 0 {
+		return from.Add(demand)
+	}
+	freePerPeriod := av.horizon - av.totalBusy
+	if freePerPeriod <= 0 {
+		return units.Time(units.Infinite)
+	}
+	// Skip whole periods first, then walk the folded pattern.
+	t := from
+	if k := int64(demand) / int64(freePerPeriod); k > 1 {
+		skip := units.Duration((k - 1) * int64(av.horizon))
+		demand -= units.Duration(k-1) * freePerPeriod
+		t = t.Add(skip)
+	}
+	for demand > 0 {
+		h := int64(av.horizon)
+		rem := int64(t) % h
+		if rem < 0 {
+			rem += h
+		}
+		phase := units.Time(rem)
+		// Find the busy interval at or after phase.
+		i := sort.Search(len(av.busy), func(i int) bool { return av.busy[i].End > phase })
+		var gapEnd units.Time
+		if i >= len(av.busy) {
+			gapEnd = units.Time(av.horizon)
+		} else if av.busy[i].Start > phase {
+			gapEnd = av.busy[i].Start
+		} else {
+			// Inside a busy interval: jump to its end.
+			t = t.Add(units.Duration(av.busy[i].End - phase))
+			continue
+		}
+		free := units.Duration(gapEnd - phase)
+		if free >= demand {
+			return t.Add(demand)
+		}
+		demand -= free
+		t = t.Add(free)
+		if i < len(av.busy) {
+			t = t.Add(av.busy[i].Len())
+		}
+	}
+	return t
+}
+
+// BusyBoundaries returns candidate critical-instant offsets within one
+// period: phase zero and the start of every SCS busy interval. Supply
+// is minimal over windows that begin exactly when a reservation starts,
+// so these phases dominate all others for the FPS response-time
+// maximisation.
+func (av *Availability) BusyBoundaries() []units.Time {
+	out := make([]units.Time, 0, len(av.busy)+1)
+	out = append(out, 0)
+	for _, iv := range av.busy {
+		out = append(out, iv.Start)
+	}
+	return out
+}
+
+// TotalBusy returns the SCS-reserved time in one period.
+func (av *Availability) TotalBusy() units.Duration { return av.totalBusy }
+
+// Horizon returns the period of the supply function.
+func (av *Availability) Horizon() units.Duration { return av.horizon }

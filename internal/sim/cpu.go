@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/units"
+)
+
+// cpu simulates one node's kernel (Section 2): SCS tasks own the
+// processor during their table reservations ("blackouts" here, since
+// the table events drive their completions directly); FPS tasks run
+// preemptively by priority in the remaining slack.
+type cpu struct {
+	sim  *Simulator
+	node model.NodeID
+
+	blackouts []schedule.Interval // absolute, sorted, replicated per repetition
+	ready     []*job
+	running   *job
+	runStart  units.Time
+	gen       int64 // invalidates stale run-slice events
+}
+
+type job struct {
+	act       model.ActID
+	inst      int
+	remaining units.Duration
+	release   units.Time
+	prio      int
+}
+
+func newCPU(s *Simulator, n model.NodeID) *cpu {
+	c := &cpu{sim: s, node: n}
+	base := s.table.Busy(n)
+	for rep := 0; rep < s.opts.Repetitions; rep++ {
+		shift := units.Duration(int64(s.hyper) * int64(rep))
+		for _, iv := range base {
+			c.blackouts = append(c.blackouts, schedule.Interval{
+				Start: iv.Start.Add(shift), End: iv.End.Add(shift),
+			})
+		}
+	}
+	sort.Slice(c.blackouts, func(i, j int) bool { return c.blackouts[i].Start < c.blackouts[j].Start })
+	return c
+}
+
+// blackoutAt returns the blackout containing t, if any, and the start
+// of the next blackout after t (or a far-future sentinel).
+func (c *cpu) blackoutAt(t units.Time) (cur *schedule.Interval, nextStart units.Time) {
+	i := sort.Search(len(c.blackouts), func(i int) bool { return c.blackouts[i].End > t })
+	if i < len(c.blackouts) && c.blackouts[i].Start <= t {
+		return &c.blackouts[i], 0
+	}
+	if i < len(c.blackouts) {
+		return nil, c.blackouts[i].Start
+	}
+	return nil, units.Time(units.Infinite)
+}
+
+// release makes an FPS job ready; it preempts a lower-priority running
+// job.
+func (c *cpu) release(act model.ActID, inst int, t units.Time) {
+	j := &job{
+		act: act, inst: inst,
+		remaining: c.sim.sys.App.Act(act).C,
+		release:   t,
+		prio:      c.sim.sys.App.Act(act).Priority,
+	}
+	c.ready = append(c.ready, j)
+	c.reschedule(t)
+}
+
+// suspend charges the running job for time executed since runStart and
+// puts it back on the ready queue.
+func (c *cpu) suspend(now units.Time) {
+	if c.running == nil {
+		return
+	}
+	ran := units.Duration(now - c.runStart)
+	if ran > c.running.remaining {
+		ran = c.running.remaining
+	}
+	c.running.remaining -= ran
+	if c.running.remaining > 0 {
+		c.ready = append(c.ready, c.running)
+	} else {
+		// Completed exactly now; the completion event fires
+		// separately, so nothing to do here. (reschedule is only
+		// called with a running job from release/blackout paths,
+		// which precede the completion event at equal timestamps
+		// only when remaining hit zero; guard anyway.)
+		act, inst := c.running.act, c.running.inst
+		c.sim.at(now, func() { c.sim.complete(act, inst, now) })
+	}
+	c.running = nil
+}
+
+// pickNext removes and returns the highest-priority ready job
+// (priority desc, then release asc, then ids for determinism).
+func (c *cpu) pickNext() *job {
+	if len(c.ready) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(c.ready); i++ {
+		a, b := c.ready[i], c.ready[best]
+		if a.prio > b.prio ||
+			(a.prio == b.prio && (a.release < b.release ||
+				(a.release == b.release && (a.act < b.act ||
+					(a.act == b.act && a.inst < b.inst))))) {
+			best = i
+		}
+	}
+	j := c.ready[best]
+	c.ready = append(c.ready[:best], c.ready[best+1:]...)
+	return j
+}
+
+// reschedule re-evaluates what should run at `now`: called on release,
+// on run-slice expiry and on blackout exit.
+func (c *cpu) reschedule(now units.Time) {
+	c.gen++
+	if c.running != nil {
+		// A release arrived while a job was running: preempt only
+		// if strictly higher priority; otherwise keep running and
+		// just refresh the slice event below.
+		c.suspend(now)
+	}
+	cur, nextStart := c.blackoutAt(now)
+	if cur != nil {
+		// Inside an SCS reservation: nothing runs; wake at its end.
+		gen := c.gen
+		end := cur.End
+		c.sim.at(end, func() {
+			if gen == c.gen {
+				c.reschedule(end)
+			}
+		})
+		return
+	}
+	j := c.pickNext()
+	if j == nil {
+		return
+	}
+	c.running = j
+	c.runStart = now
+	slice := j.remaining
+	finish := now.Add(slice)
+	if nextStart < finish {
+		slice = units.Duration(nextStart - now)
+		finish = nextStart
+	}
+	gen := c.gen
+	done := slice == j.remaining
+	c.sim.at(finish, func() {
+		if gen != c.gen {
+			return
+		}
+		if done {
+			j.remaining = 0
+			c.running = nil
+			c.gen++
+			c.sim.complete(j.act, j.inst, finish)
+			c.reschedule(finish)
+		} else {
+			c.reschedule(finish) // hit a blackout; suspend+wake
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestGenerateValidSystems(t *testing.T) {
+	for nodes := 2; nodes <= 7; nodes++ {
+		for seed := int64(0); seed < 5; seed++ {
+			sys, err := Generate(DefaultParams(nodes, seed))
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", nodes, seed, err)
+			}
+			if err := sys.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: generated invalid system: %v", nodes, seed, err)
+			}
+		}
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	p := DefaultParams(4, 9)
+	sys, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.App.Tasks(-1)); got != 40 {
+		t.Errorf("tasks = %d, want 40 (10 per node)", got)
+	}
+	if got := len(sys.App.Graphs); got != 8 {
+		t.Errorf("graphs = %d, want 8 (40 tasks / 5)", got)
+	}
+	// Exactly TasksPerNode on each node.
+	perNode := map[model.NodeID]int{}
+	for _, id := range sys.App.Tasks(-1) {
+		perNode[sys.App.Act(id).Node]++
+	}
+	for n := 0; n < 4; n++ {
+		if perNode[model.NodeID(n)] != 10 {
+			t.Errorf("node %d hosts %d tasks, want 10", n, perNode[model.NodeID(n)])
+		}
+	}
+	// Every graph has exactly GraphSize tasks (plus messages).
+	for g := range sys.App.Graphs {
+		tasks := 0
+		for _, id := range sys.App.Graphs[g].Acts {
+			if sys.App.Act(id).IsTask() {
+				tasks++
+			}
+		}
+		if tasks != 5 {
+			t.Errorf("graph %d has %d tasks, want 5", g, tasks)
+		}
+	}
+}
+
+func TestGenerateTTShare(t *testing.T) {
+	sys, err := Generate(DefaultParams(4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := 0
+	for g := range sys.App.Graphs {
+		isTT := false
+		for _, id := range sys.App.Graphs[g].Acts {
+			a := sys.App.Act(id)
+			if a.IsTask() && a.Policy == model.SCS {
+				isTT = true
+			}
+		}
+		if isTT {
+			tt++
+		}
+	}
+	if tt != 4 {
+		t.Errorf("TT graphs = %d of 8, want 4 (50%% share)", tt)
+	}
+}
+
+func TestGenerateClassesMatchGraphKind(t *testing.T) {
+	sys, err := Generate(DefaultParams(3, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.App.Acts {
+		a := &sys.App.Acts[i]
+		if !a.IsMessage() {
+			continue
+		}
+		sender := sys.App.Sender(a.ID)
+		if sender.Policy == model.SCS && a.Class != model.ST {
+			t.Errorf("message %s: SCS sender but class %v", a.Name, a.Class)
+		}
+		if sender.Policy == model.FPS && a.Class != model.DYN {
+			t.Errorf("message %s: FPS sender but class %v", a.Name, a.Class)
+		}
+	}
+}
+
+func TestGenerateUtilisationBands(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		sys, err := Generate(DefaultParams(5, 200+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, u := range sys.NodeUtilisation() {
+			// The 10µs floor on WCETs can push utilisation very
+			// slightly above the drawn target.
+			if u < 0.25 || u > 0.65 {
+				t.Errorf("seed %d: node %d utilisation %.3f outside [0.25,0.65]", seed, n, u)
+			}
+		}
+		// The message-size clamp can undershoot extreme draws, so the
+		// lower bound is soft.
+		if u := sys.BusUtilisation(); u < 0.02 || u > 0.75 {
+			t.Errorf("seed %d: bus utilisation %.3f outside [0.02,0.75]", seed, u)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultParams(3, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultParams(3, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("same seed produced different systems")
+	}
+	c, err := Generate(DefaultParams(3, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bc bytes.Buffer
+	if err := c.WriteJSON(&bc); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Error("different seeds produced identical systems")
+	}
+}
+
+func TestGenerateUniqueFPSPriorities(t *testing.T) {
+	sys, err := Generate(DefaultParams(4, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[model.NodeID]map[int]bool{}
+	for _, id := range sys.App.Tasks(int(model.FPS)) {
+		a := sys.App.Act(id)
+		if perNode[a.Node] == nil {
+			perNode[a.Node] = map[int]bool{}
+		}
+		if perNode[a.Node][a.Priority] {
+			t.Errorf("node %d: duplicate FPS priority %d", a.Node, a.Priority)
+		}
+		perNode[a.Node][a.Priority] = true
+	}
+}
+
+func TestGenerateRejectsTooFewNodes(t *testing.T) {
+	if _, err := Generate(DefaultParams(1, 1)); err == nil {
+		t.Fatal("single-node platform accepted (no bus traffic possible)")
+	}
+}
+
+func TestGenerateDeadlineFactor(t *testing.T) {
+	p := DefaultParams(2, 5)
+	p.DeadlineFactor = 2.0
+	sys, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range sys.App.Graphs {
+		tg := &sys.App.Graphs[g]
+		if tg.Deadline != 2*tg.Period {
+			t.Errorf("graph %s: deadline %v, want 2x period %v", tg.Name, tg.Deadline, tg.Period)
+		}
+	}
+}
+
+func TestGenerateMessageSizesRespectSlotLimit(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		sys, err := Generate(DefaultParams(6, 300+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range sys.App.Messages(-1) {
+			if c := sys.App.Act(id).C; c > 600*1000 {
+				t.Errorf("seed %d: message %d of %v exceeds the 600µs clamp", seed, id, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package units provides the integer time base used throughout the
+// library, plus the small pieces of integer arithmetic (GCD, LCM,
+// ceiling division) that the timing analysis relies on.
+//
+// All times and durations are held as int64 nanoseconds. The paper
+// reports times in microseconds with one decimal (e.g. a dynamic
+// segment of 2285.4 µs in Fig. 7); nanoseconds represent every such
+// value exactly, and fixpoint iterations over integers terminate
+// without epsilon comparisons.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Duration is a span of time in nanoseconds. It is a distinct type from
+// time.Duration so that the package has no implicit relation to wall
+// clocks; bus time is purely simulated.
+type Duration int64
+
+// Time is an absolute instant on the simulated time line, in
+// nanoseconds from time zero (system start).
+type Time int64
+
+// Common duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Infinite is a sentinel duration larger than any schedulable horizon.
+// Analyses return Infinite to signal divergence (an unschedulable
+// activity); arithmetic saturates at Infinite rather than overflowing.
+const Infinite Duration = math.MaxInt64 / 4
+
+// Microseconds converts a (possibly fractional) number of microseconds
+// into a Duration. Values with more than nanosecond precision are
+// rounded to the nearest nanosecond.
+func Microseconds(us float64) Duration {
+	return Duration(math.Round(us * 1e3))
+}
+
+// Milliseconds converts a (possibly fractional) number of milliseconds
+// into a Duration.
+func Milliseconds(ms float64) Duration {
+	return Duration(math.Round(ms * 1e6))
+}
+
+// Us reports the duration in microseconds as a float64 (for reporting;
+// algorithms never round-trip through floats).
+func (d Duration) Us() float64 { return float64(d) / 1e3 }
+
+// Ms reports the duration in milliseconds as a float64.
+func (d Duration) Ms() float64 { return float64(d) / 1e6 }
+
+// IsInfinite reports whether d is the divergence sentinel (or has
+// saturated past it).
+func (d Duration) IsInfinite() bool { return d >= Infinite }
+
+// String formats the duration in the most natural engineering unit.
+func (d Duration) String() string {
+	switch {
+	case d.IsInfinite():
+		return "inf"
+	case d == 0:
+		return "0"
+	case d%Millisecond == 0 && d >= Millisecond:
+		return fmt.Sprintf("%dms", int64(d/Millisecond))
+	case d%Microsecond == 0:
+		return fmt.Sprintf("%dµs", int64(d/Microsecond))
+	default:
+		return fmt.Sprintf("%.3fµs", d.Us())
+	}
+}
+
+// String formats the instant like a Duration from time zero.
+func (t Time) String() string { return Duration(t).String() }
+
+// Us reports the instant in microseconds from time zero.
+func (t Time) Us() float64 { return float64(t) / 1e3 }
+
+// Add returns the instant d after t, saturating at Infinite.
+func (t Time) Add(d Duration) Time {
+	s := Time(int64(t) + int64(d))
+	if Duration(s).IsInfinite() {
+		return Time(Infinite)
+	}
+	return s
+}
+
+// SatAdd adds two durations, saturating at Infinite instead of
+// overflowing.
+func SatAdd(a, b Duration) Duration {
+	if a.IsInfinite() || b.IsInfinite() {
+		return Infinite
+	}
+	s := a + b
+	if s.IsInfinite() {
+		return Infinite
+	}
+	return s
+}
+
+// GCD returns the greatest common divisor of a and b. GCD(0, x) = x.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or panics on
+// overflow; task periods in this domain are milliseconds-scale so the
+// hyper-period always fits comfortably in int64 nanoseconds.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	q := a / g
+	if q != 0 && (q*b)/q != b {
+		panic("units: LCM overflow")
+	}
+	r := q * b
+	if r < 0 {
+		r = -r
+	}
+	return r
+}
+
+// LCMDurations folds LCM over a list of durations. An empty list has
+// hyper-period zero.
+func LCMDurations(ds []Duration) Duration {
+	var l int64
+	for i, d := range ds {
+		if i == 0 {
+			l = int64(d)
+			continue
+		}
+		l = LCM(l, int64(d))
+	}
+	return Duration(l)
+}
+
+// CeilDiv returns ceil(a/b) for positive b. Used for "number of
+// activations inside a window" terms of the response-time analysis.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("units: CeilDiv with non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Max returns the larger of two durations.
+func Max(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of two durations.
+func Min(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of two instants.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the earlier of two instants.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

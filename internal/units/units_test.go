@@ -1,0 +1,202 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMicroseconds(t *testing.T) {
+	cases := []struct {
+		us   float64
+		want Duration
+	}{
+		{0, 0},
+		{1, 1000},
+		{2285.4, 2285400},
+		{0.001, 1},
+		{16000, 16 * Millisecond},
+	}
+	for _, c := range cases {
+		if got := Microseconds(c.us); got != c.want {
+			t.Errorf("Microseconds(%v) = %d, want %d", c.us, got, c.want)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0"},
+		{Millisecond, "1ms"},
+		{16 * Millisecond, "16ms"},
+		{Microsecond, "1µs"},
+		{1500, "1.500µs"},
+		{Infinite, "inf"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{12, 8, 4},
+		{8, 12, 4},
+		{7, 13, 1},
+		{0, 5, 5},
+		{5, 0, 5},
+		{0, 0, 0},
+		{-12, 8, 4},
+		{12, -8, 4},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{4, 6, 12},
+		{3, 5, 15},
+		{10, 10, 10},
+		{0, 5, 0},
+		{1, 7, 7},
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCMDurations(t *testing.T) {
+	if got := LCMDurations(nil); got != 0 {
+		t.Errorf("LCMDurations(nil) = %d, want 0", got)
+	}
+	ds := []Duration{4 * Millisecond, 6 * Millisecond, 10 * Millisecond}
+	if got, want := LCMDurations(ds), 60*Millisecond; got != want {
+		t.Errorf("LCMDurations = %v, want %v", got, want)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{1, 5, 1},
+		{5, 5, 1},
+		{6, 5, 2},
+		{-3, 5, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1,0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestSatAdd(t *testing.T) {
+	if got := SatAdd(1, 2); got != 3 {
+		t.Errorf("SatAdd(1,2) = %d", got)
+	}
+	if got := SatAdd(Infinite, 1); !got.IsInfinite() {
+		t.Errorf("SatAdd(Infinite,1) = %d, want infinite", got)
+	}
+	if got := SatAdd(Infinite-1, Infinite-1); !got.IsInfinite() {
+		t.Errorf("SatAdd near-inf = %d, want infinite", got)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if got := Time(5).Add(7); got != 12 {
+		t.Errorf("Time(5).Add(7) = %d", got)
+	}
+	if got := Time(Infinite).Add(Infinite); got != Time(Infinite) {
+		t.Errorf("saturating Add = %d, want Infinite", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+		t.Error("Max wrong")
+	}
+	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Error("Min wrong")
+	}
+	if MaxTime(1, 2) != 2 || MinTime(1, 2) != 1 {
+		t.Error("MaxTime/MinTime wrong")
+	}
+}
+
+// Property: GCD divides both operands and LCM is a multiple of both.
+func TestGCDLCMProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		g := GCD(x, y)
+		if x == 0 && y == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		if x%g != 0 || y%g != 0 {
+			return false
+		}
+		if x != 0 && y != 0 {
+			l := LCM(x, y)
+			if l%x != 0 || l%y != 0 {
+				return false
+			}
+			ax, ay := x, y
+			if ax < 0 {
+				ax = -ax
+			}
+			if ay < 0 {
+				ay = -ay
+			}
+			if g*l != ax*ay {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CeilDiv(a,b) is the least k with k*b >= a (for a,b > 0).
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		x := int64(a)
+		y := int64(b)
+		if y <= 0 {
+			y = 1 - y
+		}
+		if y == 0 {
+			y = 1
+		}
+		k := CeilDiv(x, y)
+		if x <= 0 {
+			return k == 0
+		}
+		return k*y >= x && (k-1)*y < x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
