@@ -10,6 +10,8 @@
 package flexopt_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	flexopt "repro"
@@ -187,5 +189,76 @@ func BenchmarkSimulation(b *testing.B) {
 		if _, err := flexopt.Simulate(sys, res.Config, table, flexopt.DefaultSimOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// fig7Population builds a Fig. 7 style population (5-node systems of
+// 45 tasks in the Section 7 utilisation bands) for the campaign
+// scaling benchmarks.
+func fig7Population(n int) []flexopt.GenParams {
+	specs := make([]flexopt.GenParams, n)
+	for i := range specs {
+		sp := flexopt.DefaultGenParams(5, 42+int64(i))
+		sp.TasksPerNode = 9
+		sp.TTShare = 0.34
+		sp.BusUtilMin, sp.BusUtilMax = 0.30, 0.45
+		sp.DeadlineFactor = 2.0
+		specs[i] = sp
+	}
+	return specs
+}
+
+// campaignBenchOpts keep one campaign pass around a second per system
+// so the scaling benchmarks iterate.
+func campaignBenchOpts() flexopt.Options {
+	o := flexopt.DefaultOptions()
+	o.DYNGridCap = 12
+	o.SlotCountCap = 2
+	o.SlotLenSteps = 3
+	o.MaxEvaluations = 120
+	o.SAIterations = 40
+	return o
+}
+
+// BenchmarkCampaignWorkers measures campaign throughput over the
+// Fig. 7 population as the worker count grows; the records are
+// identical at every setting, only the wall-clock changes. Expect
+// >1.5x throughput at 4 workers versus 1 on a 4-core machine (on a
+// single-core machine the curves coincide — there is nothing to
+// parallelise onto).
+func BenchmarkCampaignWorkers(b *testing.B) {
+	specs := fig7Population(6)
+	opts := campaignBenchOpts()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := flexopt.Campaign(context.Background(), specs, opts,
+					flexopt.CampaignOptions{Workers: workers},
+					func(flexopt.CampaignRecord) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolioWorkers measures racing the full optimiser
+// portfolio on one Fig. 7 system over the shared caching engine.
+func BenchmarkPortfolioWorkers(b *testing.B) {
+	sys, err := flexopt.Generate(fig7Population(1)[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := campaignBenchOpts()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := flexopt.Portfolio(context.Background(), sys, opts,
+					flexopt.EngineOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -9,33 +9,65 @@
 //	flexray-bench fig4            # DYN segment optimisation example (Fig. 4)
 //	flexray-bench fig7            # response time vs DYN length (Fig. 7)
 //	flexray-bench fig9 [-full]    # heuristic evaluation (Fig. 9, both panels)
+//	flexray-bench campaign        # population sweep streamed as JSONL
 //	flexray-bench cruise          # cruise-controller case study
 //	flexray-bench ablation        # design-choice ablations (DESIGN.md §6)
 //	flexray-bench all [-full]
+//
+// The population sweeps (fig7, fig9, campaign) shard their work across
+// -workers goroutines through the campaign engine; the printed figures
+// are identical at any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
+var workers = flag.Int("workers", 0, "concurrent evaluation workers for the population sweeps (0 = GOMAXPROCS)")
+
 func main() {
 	full := flag.Bool("full", false, "paper-scale Fig. 9 population (25 apps per node count)")
 	flag.Parse()
-	// Accept the -full flag in any position: the flag package stops
-	// parsing at the first subcommand.
+	// Accept the -full and -workers flags in any position: the flag
+	// package stops parsing at the first subcommand.
 	var cmds []string
-	for _, a := range flag.Args() {
-		if a == "-full" || a == "--full" {
+	args := flag.Args()
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-full" || a == "--full":
 			*full = true
-			continue
+		case a == "-workers" || a == "--workers":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "flexray-bench: -workers needs a value")
+				os.Exit(2)
+			}
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flexray-bench: bad -workers value %q\n", args[i])
+				os.Exit(2)
+			}
+			*workers = n
+		case strings.HasPrefix(a, "-workers=") || strings.HasPrefix(a, "--workers="):
+			n, err := strconv.Atoi(a[strings.Index(a, "=")+1:])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flexray-bench: bad -workers value %q\n", a)
+				os.Exit(2)
+			}
+			*workers = n
+		default:
+			cmds = append(cmds, a)
 		}
-		cmds = append(cmds, a)
 	}
 	if len(cmds) == 0 {
 		cmds = []string{"all"}
@@ -52,6 +84,8 @@ func main() {
 			fig7()
 		case "fig9":
 			fig9(*full)
+		case "campaign":
+			campaignJSONL(*full)
 		case "cruise":
 			cruiseStudy()
 		case "ablation":
@@ -117,7 +151,9 @@ func fig4() {
 
 func fig7() {
 	header("Fig. 7 — Influence of DYN segment length on message response times")
-	series, err := experiments.Fig7(experiments.DefaultFig7Params())
+	p := experiments.DefaultFig7Params()
+	p.Workers = *workers
+	series, err := experiments.Fig7(p)
 	if err != nil {
 		fail(err)
 	}
@@ -142,6 +178,7 @@ func fig9(full bool) {
 		p = experiments.QuickFig9Params()
 		p.AppsPerSet = 5
 	}
+	p.Workers = *workers
 	header(fmt.Sprintf("Fig. 9 — Evaluation of bus optimisation algorithms (%d apps / node count)", p.AppsPerSet))
 	res, err := experiments.Fig9(p)
 	if err != nil {
@@ -155,6 +192,23 @@ func fig9(full bool) {
 	}
 	fmt.Println("\n(left panel: BBC deviates most and stops finding schedulable configs as nodes grow;")
 	fmt.Println(" right panel: BBC runs in ~zero time, OBC-CF well under OBC-EE)")
+}
+
+// campaignJSONL streams the Fig. 9 population sweep as one JSON record
+// per system — the machine-readable face of the evaluation, suitable
+// for piping into jq or a plotting notebook.
+func campaignJSONL(full bool) {
+	p := experiments.QuickFig9Params()
+	if full {
+		p = experiments.DefaultFig9Params()
+	}
+	specs := campaign.PopulationSpecs(p.NodeCounts, p.AppsPerSet, p.Seed, p.DeadlineFactor)
+	fmt.Fprintf(os.Stderr, "campaign: %d systems (%v nodes × %d apps), workers=%d\n",
+		len(specs), p.NodeCounts, p.AppsPerSet, *workers)
+	if _, err := campaign.WriteJSONL(context.Background(), specs, p.Opts,
+		campaign.Options{Workers: *workers, SAWarmFromOBC: true}, os.Stdout); err != nil {
+		fail(err)
+	}
 }
 
 func ablation() {

@@ -6,6 +6,7 @@
 //
 //	flexray-gen -nodes 5 -seed 42 -o system.json
 //	flexray-gen -nodes 3 -deadline-factor 2.0          # to stdout
+//	flexray-gen -cruise -o cruise.json                 # the case study
 package main
 
 import (
@@ -13,7 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cruise"
 	"repro/internal/export"
+	"repro/internal/model"
 	"repro/internal/synth"
 )
 
@@ -27,16 +30,24 @@ func main() {
 		deadline = flag.Float64("deadline-factor", 1.0, "graph deadline as a multiple of the period")
 		out      = flag.String("o", "", "output file (default stdout)")
 		dot      = flag.String("dot", "", "also write the task graphs as Graphviz DOT here")
+		doCruise = flag.Bool("cruise", false, "emit the paper's cruise-controller case study instead of a random system")
 	)
 	flag.Parse()
 
-	p := synth.DefaultParams(*nodes, *seed)
-	p.TasksPerNode = *perNode
-	p.GraphSize = *graphSz
-	p.TTShare = *ttShare
-	p.DeadlineFactor = *deadline
-
-	sys, err := synth.Generate(p)
+	var (
+		sys *model.System
+		err error
+	)
+	if *doCruise {
+		sys, err = cruise.System()
+	} else {
+		p := synth.DefaultParams(*nodes, *seed)
+		p.TasksPerNode = *perNode
+		p.GraphSize = *graphSz
+		p.TTShare = *ttShare
+		p.DeadlineFactor = *deadline
+		sys, err = synth.Generate(p)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexray-gen:", err)
 		os.Exit(1)

@@ -1,0 +1,499 @@
+// flexray-serve exposes the bus-access optimisation pipeline as a JSON
+// HTTP service backed by the concurrent campaign engine: clients POST a
+// system description and get back an optimised bus configuration, a
+// holistic analysis, or a discrete-event simulation.
+//
+// Usage:
+//
+//	flexray-serve [-addr :8080] [-workers N] [-max-concurrent M]
+//	              [-timeout 2m] [-max-body 8388608]
+//
+// Endpoints:
+//
+//	POST /v1/optimize  {"system": {...}, "algorithms": ["obc-cf"],
+//	                    "workers": 4, "options": {"sa_iterations": 500}}
+//	POST /v1/analyze   {"system": {...}, "config": {...}}
+//	POST /v1/simulate  {"system": {...}, "config": {...}, "repetitions": 2}
+//	GET  /healthz
+//
+// Example round-trip (the paper's cruise-controller case study):
+//
+//	flexray-gen -cruise -o cruise.json
+//	curl -s -X POST localhost:8080/v1/optimize \
+//	    -d "{\"system\": $(cat cruise.json), \"algorithms\": [\"obc-cf\"]}"
+//
+// The server sheds load instead of queueing unboundedly: at most
+// -max-concurrent heavy computations run at once (excess gets 503),
+// bodies are capped at -max-body bytes, every request is answered
+// within -timeout (a computation that cannot be interrupted keeps its
+// slot until it finishes, so the concurrency bound holds even then),
+// and SIGINT/SIGTERM drain in-flight work before exiting.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/flexray"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "evaluation workers per request (0 = GOMAXPROCS)")
+		maxConc = flag.Int("max-concurrent", 2, "heavy requests served at once (excess gets 503)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request wall-clock budget")
+		maxBody = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+	)
+	flag.Parse()
+
+	s := newServer(serverConfig{
+		Workers:       *workers,
+		MaxConcurrent: *maxConc,
+		Timeout:       *timeout,
+		MaxBody:       *maxBody,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("flexray-serve: listening on %s (workers=%d, max-concurrent=%d)",
+		*addr, effectiveWorkers(*workers), *maxConc)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("flexray-serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("flexray-serve: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("flexray-serve: shutdown: %v", err)
+	}
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+type serverConfig struct {
+	Workers       int
+	MaxConcurrent int
+	Timeout       time.Duration
+	MaxBody       int64
+}
+
+// server carries the shared request-shaping state; it implements
+// http.Handler.
+type server struct {
+	mux     *http.ServeMux
+	cfg     serverConfig
+	heavy   chan struct{} // admission semaphore for optimise/analyse/simulate
+	started time.Time
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	s := &server{
+		mux:     http.NewServeMux(),
+		cfg:     cfg,
+		heavy:   make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/optimize", s.guard(s.handleOptimize))
+	s.mux.HandleFunc("POST /v1/analyze", s.guard(s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/simulate", s.guard(s.handleSimulate))
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// guard applies the cheap request limits shared by the heavy
+// endpoints: bounded body and bounded time. The concurrency bound is
+// applied by compute, around the expensive section only.
+func (s *server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// errBusy marks a request shed because every heavy slot is taken.
+var errBusy = errors.New("server at capacity")
+
+// compute runs fn on a heavy-work slot, bounded by ctx. With no slot
+// free it sheds immediately instead of queueing. On timeout the
+// request is answered at once, while fn — the schedule build and the
+// simulator are not interruptible — keeps running in the background
+// and releases its slot when done: the -max-concurrent bound holds
+// even for runaway computations. The caller must not touch fn's
+// results unless compute returned nil.
+func (s *server) compute(ctx context.Context, fn func()) error {
+	select {
+	case s.heavy <- struct{}{}:
+	default:
+		return errBusy
+	}
+	done := make(chan struct{})
+	go func() {
+		defer func() { <-s.heavy }()
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// computeError maps a compute failure onto its status code.
+func computeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBusy) {
+		httpError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+		return
+	}
+	httpError(w, http.StatusGatewayTimeout, "computation exceeded the request budget")
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  int64(time.Since(s.started).Seconds()),
+		"workers":   effectiveWorkers(s.cfg.Workers),
+		"gomaxproc": runtime.GOMAXPROCS(0),
+	})
+}
+
+// optimizeOptions are the user-tunable optimiser knobs; zero values
+// keep the defaults of core.DefaultOptions.
+type optimizeOptions struct {
+	DYNGridCap     int   `json:"dyn_grid_cap,omitempty"`
+	SlotCountCap   int   `json:"slot_count_cap,omitempty"`
+	SlotLenSteps   int   `json:"slot_len_steps,omitempty"`
+	MaxEvaluations int   `json:"max_evaluations,omitempty"`
+	SAIterations   int   `json:"sa_iterations,omitempty"`
+	SASeed         int64 `json:"sa_seed,omitempty"`
+}
+
+func (o *optimizeOptions) apply(opts core.Options) core.Options {
+	if o == nil {
+		return opts
+	}
+	if o.DYNGridCap > 0 {
+		opts.DYNGridCap = o.DYNGridCap
+	}
+	if o.SlotCountCap > 0 {
+		opts.SlotCountCap = o.SlotCountCap
+	}
+	if o.SlotLenSteps > 0 {
+		opts.SlotLenSteps = o.SlotLenSteps
+	}
+	if o.MaxEvaluations > 0 {
+		opts.MaxEvaluations = o.MaxEvaluations
+	}
+	if o.SAIterations > 0 {
+		opts.SAIterations = o.SAIterations
+	}
+	if o.SASeed != 0 {
+		opts.SASeed = o.SASeed
+	}
+	return opts
+}
+
+type optimizeRequest struct {
+	System     json.RawMessage  `json:"system"`
+	Algorithms []string         `json:"algorithms,omitempty"`
+	Workers    int              `json:"workers,omitempty"`
+	Options    *optimizeOptions `json:"options,omitempty"`
+}
+
+type bestJSON struct {
+	Algorithm   string          `json:"algorithm"`
+	Cost        float64         `json:"cost"`
+	Schedulable bool            `json:"schedulable"`
+	Evaluations int             `json:"evaluations"`
+	ElapsedUs   int64           `json:"elapsed_us"`
+	Config      json.RawMessage `json:"config"`
+}
+
+type optimizeResponse struct {
+	Best      bestJSON             `json:"best"`
+	Runs      []campaign.AlgoRun   `json:"runs"`
+	Engine    campaign.EngineStats `json:"engine"`
+	ElapsedUs int64                `json:"elapsed_us"`
+}
+
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sys, ok := parseSystem(w, req.System)
+	if !ok {
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	opts := req.Options.apply(core.DefaultOptions())
+	var (
+		pf   *campaign.PortfolioResult
+		pErr error
+	)
+	if err := s.compute(r.Context(), func() {
+		pf, pErr = campaign.Portfolio(r.Context(), sys, opts,
+			campaign.EngineOptions{Workers: workers}, req.Algorithms...)
+	}); err != nil {
+		computeError(w, err)
+		return
+	}
+	if pErr != nil {
+		if errors.Is(pErr, context.DeadlineExceeded) || errors.Is(pErr, context.Canceled) {
+			httpError(w, http.StatusGatewayTimeout, "optimisation exceeded the request budget")
+			return
+		}
+		httpError(w, http.StatusUnprocessableEntity, pErr.Error())
+		return
+	}
+	cfgJSON, err := marshalConfig(pf.Best.Config, sys)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, optimizeResponse{
+		Best: bestJSON{
+			Algorithm:   pf.Best.Algorithm,
+			Cost:        pf.Best.Cost,
+			Schedulable: pf.Best.Schedulable,
+			Evaluations: pf.Best.Evaluations,
+			ElapsedUs:   pf.Best.Elapsed.Microseconds(),
+			Config:      cfgJSON,
+		},
+		Runs:      pf.Runs,
+		Engine:    pf.Engine,
+		ElapsedUs: pf.Elapsed.Microseconds(),
+	})
+}
+
+type configuredRequest struct {
+	System      json.RawMessage `json:"system"`
+	Config      json.RawMessage `json:"config"`
+	Repetitions int             `json:"repetitions,omitempty"` // simulate only
+}
+
+type analyzeResponse struct {
+	Schedulable bool               `json:"schedulable"`
+	Cost        float64            `json:"cost"`
+	Converged   bool               `json:"converged"`
+	CycleUs     float64            `json:"cycle_us"`
+	ResponseUs  map[string]float64 `json:"response_us"`
+	Violations  []string           `json:"violations,omitempty"`
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	sys, cfg, _, ok := parseConfigured(w, r)
+	if !ok {
+		return
+	}
+	var (
+		res  *analysis.Result
+		bErr error
+	)
+	if err := s.compute(r.Context(), func() {
+		_, res, bErr = sched.Build(sys, cfg, sched.DefaultOptions())
+	}); err != nil {
+		computeError(w, err)
+		return
+	}
+	if bErr != nil {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("schedule construction failed: %v", bErr))
+		return
+	}
+	resp := analyzeResponse{
+		Schedulable: res.Schedulable,
+		Cost:        res.Cost,
+		Converged:   res.Converged,
+		CycleUs:     cfg.Cycle().Us(),
+		ResponseUs:  map[string]float64{},
+	}
+	for id, rt := range res.R {
+		resp.ResponseUs[sys.App.Act(id).Name] = rt.Us()
+	}
+	for _, id := range res.Violations {
+		resp.Violations = append(resp.Violations, sys.App.Act(id).Name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type simulateResponse struct {
+	MaxResponseUs  map[string]float64 `json:"max_response_us"`
+	Completions    map[string]int     `json:"completions"`
+	DeadlineMisses int                `json:"deadline_misses"`
+	Unfinished     int                `json:"unfinished"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	sys, cfg, req, ok := parseConfigured(w, r)
+	if !ok {
+		return
+	}
+	simOpts := sim.DefaultOptions()
+	if req.Repetitions > 0 {
+		simOpts.Repetitions = req.Repetitions
+	}
+	var (
+		res  *sim.Result
+		sErr error
+	)
+	if err := s.compute(r.Context(), func() {
+		var table *schedule.Table
+		table, _, sErr = sched.Build(sys, cfg, sched.DefaultOptions())
+		if sErr != nil {
+			sErr = fmt.Errorf("schedule construction failed: %w", sErr)
+			return
+		}
+		var simulator *sim.Simulator
+		simulator, sErr = sim.New(sys, cfg, table, simOpts)
+		if sErr != nil {
+			return
+		}
+		res, sErr = simulator.Run()
+	}); err != nil {
+		computeError(w, err)
+		return
+	}
+	if sErr != nil {
+		httpError(w, http.StatusUnprocessableEntity, sErr.Error())
+		return
+	}
+	resp := simulateResponse{
+		MaxResponseUs:  map[string]float64{},
+		Completions:    map[string]int{},
+		DeadlineMisses: res.DeadlineMisses,
+		Unfinished:     res.Unfinished,
+	}
+	for id, rt := range res.MaxResponse {
+		resp.MaxResponseUs[sys.App.Act(id).Name] = rt.Us()
+	}
+	for id, n := range res.Completions {
+		resp.Completions[sys.App.Act(id).Name] = n
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseConfigured decodes the shared {system, config} request shape.
+func parseConfigured(w http.ResponseWriter, r *http.Request) (*model.System, *flexray.Config, *configuredRequest, bool) {
+	var req configuredRequest
+	if !decodeBody(w, r, &req) {
+		return nil, nil, nil, false
+	}
+	sys, ok := parseSystem(w, req.System)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	if len(req.Config) == 0 {
+		httpError(w, http.StatusBadRequest, "missing \"config\"")
+		return nil, nil, nil, false
+	}
+	cfg, err := flexray.ReadJSON(bytes.NewReader(req.Config), sys)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, nil, false
+	}
+	if err := cfg.Validate(flexray.DefaultParams(), sys); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid configuration: %v", err))
+		return nil, nil, nil, false
+	}
+	return sys, cfg, &req, true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, err.Error())
+		return false
+	}
+	return true
+}
+
+func parseSystem(w http.ResponseWriter, raw json.RawMessage) (*model.System, bool) {
+	if len(raw) == 0 {
+		httpError(w, http.StatusBadRequest, "missing \"system\"")
+		return nil, false
+	}
+	sys, err := model.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return sys, true
+}
+
+func marshalConfig(cfg *flexray.Config, sys *model.System) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf, sys); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("flexray-serve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cruise"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(serverConfig{
+		Workers:       2,
+		MaxConcurrent: 2,
+		Timeout:       5 * time.Minute,
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func systemJSON(t *testing.T, sys *model.System) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func genSystem(t *testing.T, nodes int, seed int64) *model.System {
+	t.Helper()
+	sp := synth.DefaultParams(nodes, seed)
+	sp.DeadlineFactor = 2.0
+	sys, err := synth.Generate(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// quickOpts mirror the reduced budgets used by the request below.
+func quickServeOptions() map[string]any {
+	return map[string]any{
+		"dyn_grid_cap":    24,
+		"slot_count_cap":  2,
+		"slot_len_steps":  3,
+		"max_evaluations": 300,
+	}
+}
+
+func quickCoreOpts() core.Options {
+	o := core.DefaultOptions()
+	o.DYNGridCap = 24
+	o.SlotCountCap = 2
+	o.SlotLenSteps = 3
+	o.MaxEvaluations = 300
+	return o
+}
+
+// TestOptimizeAnalyzeSimulate drives the full API: optimise a generated
+// system, feed the returned configuration to /v1/analyze, then to
+// /v1/simulate, and cross-check the reported costs against a direct
+// library run.
+func TestOptimizeAnalyzeSimulate(t *testing.T) {
+	ts := testServer(t)
+	sys := genSystem(t, 2, 5)
+	sysJSON := systemJSON(t, sys)
+
+	resp, body := post(t, ts, "/v1/optimize", map[string]any{
+		"system":     json.RawMessage(sysJSON),
+		"algorithms": []string{"bbc", "obc-cf"},
+		"options":    quickServeOptions(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d: %s", resp.StatusCode, body)
+	}
+	var opt optimizeResponse
+	if err := json.Unmarshal(body, &opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(opt.Runs))
+	}
+
+	// Parity: the served best cost must equal the library's.
+	sys2, err := model.ReadJSON(bytes.NewReader(sysJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBBC, err := core.BBC(sys2, quickCoreOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCF, err := core.OBCCF(sys2, quickCoreOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantBBC.Cost
+	if wantCF.Cost < want {
+		want = wantCF.Cost
+	}
+	if opt.Best.Cost != want {
+		t.Errorf("served best cost %v, want %v", opt.Best.Cost, want)
+	}
+
+	// The returned configuration must analyse to the same cost.
+	resp, body = post(t, ts, "/v1/analyze", map[string]any{
+		"system": json.RawMessage(sysJSON),
+		"config": opt.Best.Config,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", resp.StatusCode, body)
+	}
+	var ana analyzeResponse
+	if err := json.Unmarshal(body, &ana); err != nil {
+		t.Fatal(err)
+	}
+	if ana.Cost != opt.Best.Cost || ana.Schedulable != opt.Best.Schedulable {
+		t.Errorf("analyze (cost, schedulable) = (%v, %v), optimize said (%v, %v)",
+			ana.Cost, ana.Schedulable, opt.Best.Cost, opt.Best.Schedulable)
+	}
+	if len(ana.ResponseUs) == 0 {
+		t.Error("analyze returned no response times")
+	}
+
+	resp, body = post(t, ts, "/v1/simulate", map[string]any{
+		"system": json.RawMessage(sysJSON),
+		"config": opt.Best.Config,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d: %s", resp.StatusCode, body)
+	}
+	var simr simulateResponse
+	if err := json.Unmarshal(body, &simr); err != nil {
+		t.Fatal(err)
+	}
+	if len(simr.MaxResponseUs) == 0 {
+		t.Error("simulate returned no observed responses")
+	}
+	// Observed responses never exceed the analysis bounds.
+	for name, obs := range simr.MaxResponseUs {
+		if bound, ok := ana.ResponseUs[name]; ok && obs > bound+1e-6 {
+			t.Errorf("%s: observed %v µs exceeds analysed bound %v µs", name, obs, bound)
+		}
+	}
+}
+
+// TestOptimizeCruiseParity is the acceptance criterion: the cruise
+// controller round-tripped through POST /v1/optimize returns the same
+// best cost as the flexray-opt CLI path (core.OBCCF on the decoded
+// interchange JSON with default options).
+func TestOptimizeCruiseParity(t *testing.T) {
+	ts := testServer(t)
+	sys, err := cruise.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysJSON := systemJSON(t, sys)
+
+	resp, body := post(t, ts, "/v1/optimize", map[string]any{
+		"system":     json.RawMessage(sysJSON),
+		"algorithms": []string{"obc-cf"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d: %s", resp.StatusCode, body)
+	}
+	var opt optimizeResponse
+	if err := json.Unmarshal(body, &opt); err != nil {
+		t.Fatal(err)
+	}
+
+	// What `flexray-opt -algo obc-cf -in cruise.json` computes.
+	cliSys, err := model.ReadJSON(bytes.NewReader(sysJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := core.OBCCF(cliSys, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Best.Cost != cli.Cost {
+		t.Errorf("served cost %v, CLI cost %v", opt.Best.Cost, cli.Cost)
+	}
+	if !opt.Best.Schedulable {
+		t.Error("cruise controller not schedulable through the API (paper: OBC-CF configures it)")
+	}
+}
+
+// TestBadRequests exercises the request validation paths.
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range []struct {
+		path string
+		body string
+		want int
+	}{
+		{"/v1/optimize", `{`, http.StatusBadRequest},
+		{"/v1/optimize", `{}`, http.StatusBadRequest},
+		{"/v1/optimize", `{"system": {"name": "x"}}`, http.StatusBadRequest},
+		{"/v1/analyze", `{"system": {"name": "x"}}`, http.StatusBadRequest},
+		{"/v1/simulate", `{}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %s %q: %d, want %d", tc.path, tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	// Unknown algorithm is a semantic error.
+	sys := genSystem(t, 2, 5)
+	resp, _ := post(t, ts, "/v1/optimize", map[string]any{
+		"system":     systemJSON(t, sys),
+		"algorithms": []string{"genetic"},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown algorithm: %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestBodyLimit: oversized bodies are rejected, not buffered.
+func TestBodyLimit(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{MaxBody: 256, Timeout: time.Minute, MaxConcurrent: 2}))
+	defer ts.Close()
+	big := fmt.Sprintf(`{"system": %q}`, strings.Repeat("x", 1024))
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHealthz: the liveness probe answers without limits applied.
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -51,4 +51,29 @@
 // response times, which are validated against the analysis bounds in
 // this repository's test-suite (and reproduce the paper's Fig. 1, 3, 4
 // examples cycle by cycle).
+//
+// # Campaigns and serving
+//
+// The campaign layer scales the optimisers from one goroutine to the
+// whole machine. Every optimiser spends its budget on one pure
+// operation — schedule build plus holistic analysis of a candidate
+// configuration — and the engine behind EngineOptions parallelises
+// exactly that: independent sweep candidates fan across a worker
+// pool, results are memoised in a bounded cache keyed on the
+// configuration fingerprint, and a context cancels in-flight work.
+// Because evaluations are pure, results are bit-identical at any
+// worker count.
+//
+// Portfolio races BBC, OBC-CF, OBC-EE and SA concurrently on one
+// system over a shared engine (the cheap heuristics warm the cache
+// for the expensive ones) and returns the best Result plus
+// per-algorithm telemetry. Campaign and CampaignJSONL shard a
+// generated population — PopulationSpecs builds the paper's
+// Section 7 sets — across workers and stream per-system records in
+// deterministic order; the Fig. 7 and Fig. 9 experiment sweeps run on
+// this engine.
+//
+// cmd/flexray-serve exposes the same pipeline as a JSON HTTP service:
+// POST /v1/optimize, /v1/analyze and /v1/simulate, with bounded
+// concurrency, body and time limits, and graceful shutdown.
 package flexopt

@@ -1,9 +1,11 @@
 package flexopt
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/analysis"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cruise"
 	"repro/internal/flexray"
@@ -185,3 +187,59 @@ func Generate(p GenParams) (*System, error) { return synth.Generate(p) }
 // CruiseController returns the paper's real-life case study: 54 tasks
 // and 26 messages in 4 task graphs over 5 nodes.
 func CruiseController() (*System, error) { return cruise.System() }
+
+// Concurrent campaign engine.
+type (
+	// EngineOptions tune the worker-pool evaluation engine; the
+	// zero value selects GOMAXPROCS workers and the default cache.
+	EngineOptions = campaign.EngineOptions
+	// EngineStats report evaluations and cache traffic of one
+	// engine.
+	EngineStats = campaign.EngineStats
+	// AlgoRun is the per-algorithm telemetry of a portfolio or
+	// campaign run.
+	AlgoRun = campaign.AlgoRun
+	// PortfolioResult is the outcome of racing the optimiser
+	// portfolio on one system.
+	PortfolioResult = campaign.PortfolioResult
+	// CampaignOptions tune a population sweep.
+	CampaignOptions = campaign.Options
+	// CampaignRecord is the streamed result of one system of a
+	// campaign.
+	CampaignRecord = campaign.Record
+)
+
+// PortfolioAlgorithms returns the canonical optimiser portfolio
+// ("BBC", "OBC-CF", "OBC-EE", "SA").
+func PortfolioAlgorithms() []string {
+	return append([]string(nil), campaign.Algorithms...)
+}
+
+// Portfolio races the requested optimisers (default: the full
+// portfolio) concurrently on one system over a shared caching
+// evaluation engine and returns the best result plus per-algorithm
+// telemetry. Results are identical for any worker count; cancelling
+// ctx aborts the race.
+func Portfolio(ctx context.Context, sys *System, opts Options, eng EngineOptions, algorithms ...string) (*PortfolioResult, error) {
+	return campaign.Portfolio(ctx, sys, opts, eng, algorithms...)
+}
+
+// Campaign shards a generated population across workers and calls emit
+// with one record per system, in spec order. Records are independent
+// per system, so the output is deterministic for any worker count.
+func Campaign(ctx context.Context, specs []GenParams, opts Options, copts CampaignOptions, emit func(CampaignRecord) error) error {
+	return campaign.Run(ctx, specs, opts, copts, emit)
+}
+
+// CampaignJSONL runs a campaign and streams every record as one JSON
+// line to w, returning the records for in-process aggregation.
+func CampaignJSONL(ctx context.Context, specs []GenParams, opts Options, copts CampaignOptions, w io.Writer) ([]CampaignRecord, error) {
+	return campaign.WriteJSONL(ctx, specs, opts, copts, w)
+}
+
+// PopulationSpecs builds the paper's Section 7 evaluation population:
+// for each node count, apps systems seeded deterministically from
+// seed. A positive deadlineFactor overrides the generator default.
+func PopulationSpecs(nodeCounts []int, apps int, seed int64, deadlineFactor float64) []GenParams {
+	return campaign.PopulationSpecs(nodeCounts, apps, seed, deadlineFactor)
+}

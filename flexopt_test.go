@@ -2,6 +2,7 @@ package flexopt_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -136,5 +137,57 @@ func TestDurationHelpers(t *testing.T) {
 	}
 	if flexopt.Milliseconds(16) != 16*flexopt.Millisecond {
 		t.Error("Milliseconds conversion wrong")
+	}
+}
+
+// TestPublicAPIPortfolio races the optimiser portfolio on the demo
+// system through the facade and cross-checks the winner against a
+// direct OBC-CF run.
+func TestPublicAPIPortfolio(t *testing.T) {
+	sys := buildDemo(t)
+	opts := flexopt.DefaultOptions()
+	pf, err := flexopt.Portfolio(context.Background(), sys, opts, flexopt.EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Runs) != len(flexopt.PortfolioAlgorithms()) {
+		t.Fatalf("%d runs, want %d", len(pf.Runs), len(flexopt.PortfolioAlgorithms()))
+	}
+	if pf.Best == nil || !pf.Best.Schedulable {
+		t.Fatalf("portfolio best = %+v, want a schedulable result", pf.Best)
+	}
+	cf, err := flexopt.OBCCF(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Best.Cost > cf.Cost {
+		t.Errorf("portfolio best cost %v worse than plain OBC-CF %v", pf.Best.Cost, cf.Cost)
+	}
+}
+
+// TestPublicAPICampaign streams a small population sweep as JSONL
+// through the facade.
+func TestPublicAPICampaign(t *testing.T) {
+	specs := flexopt.PopulationSpecs([]int{2}, 2, 1, 2.0)
+	opts := flexopt.DefaultOptions()
+	opts.DYNGridCap = 16
+	opts.MaxEvaluations = 150
+	opts.SAIterations = 60
+	var buf bytes.Buffer
+	recs, err := flexopt.CampaignJSONL(context.Background(), specs, opts,
+		flexopt.CampaignOptions{Workers: 2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("%d JSONL lines, want 2", lines)
+	}
+	for i, r := range recs {
+		if r.Index != i || r.Err != "" || r.Best == "" {
+			t.Errorf("record %d malformed: %+v", i, r)
+		}
 	}
 }

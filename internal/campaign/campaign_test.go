@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// scrub removes timing and pointers so records can be compared across
+// runs with different worker counts.
+func scrub(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		runs := make([]AlgoRun, len(r.Runs))
+		for j, a := range r.Runs {
+			a.ElapsedUs = 0
+			a.Result = nil
+			runs[j] = a
+		}
+		r.Runs = runs
+		out[i] = r
+	}
+	return out
+}
+
+func runCampaign(t *testing.T, workers int) []Record {
+	t.Helper()
+	specs := PopulationSpecs([]int{2}, 3, 1, 2.0)
+	var recs []Record
+	err := Run(context.Background(), specs, quickOpts(),
+		Options{Workers: workers, SAWarmFromOBC: true},
+		func(r Record) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return recs
+}
+
+// TestCampaignDeterministic: the same population produces identical
+// records (costs, configs picked, evaluation counts, cache behaviour)
+// at one worker and at four.
+func TestCampaignDeterministic(t *testing.T) {
+	one := runCampaign(t, 1)
+	four := runCampaign(t, 4)
+	if len(one) != 3 || len(four) != 3 {
+		t.Fatalf("record counts %d/%d, want 3", len(one), len(four))
+	}
+	if !reflect.DeepEqual(scrub(one), scrub(four)) {
+		t.Errorf("workers=1 and workers=4 disagree:\n%+v\nvs\n%+v", scrub(one), scrub(four))
+	}
+	for i, r := range one {
+		if r.Index != i {
+			t.Errorf("record %d emitted at position %d", r.Index, i)
+		}
+		if r.Err != "" {
+			t.Errorf("record %d failed: %s", i, r.Err)
+		}
+		if len(r.Runs) != len(Algorithms) {
+			t.Errorf("record %d: %d runs, want %d", i, len(r.Runs), len(Algorithms))
+		}
+		if r.Best == "" {
+			t.Errorf("record %d: no winner", i)
+		}
+	}
+}
+
+// TestCampaignMatchesSerialOptimisers: each campaign record reports
+// exactly what running the optimisers by hand on the same seed reports.
+func TestCampaignMatchesSerialOptimisers(t *testing.T) {
+	recs := runCampaign(t, 4)
+	specs := PopulationSpecs([]int{2}, 3, 1, 2.0)
+	for i, rec := range recs {
+		sys, err := synth.Generate(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := quickOpts()
+		var warm *AlgoRun
+		for _, run := range rec.Runs {
+			aOpts := opts
+			if run.Algorithm == "SA" && warm != nil {
+				aOpts.SAWarmStart = warm.Result.Config
+			}
+			want, err := runAlgorithm(run.Algorithm, sys, aOpts)
+			if err != nil {
+				t.Fatalf("record %d %s: %v", i, run.Algorithm, err)
+			}
+			if run.Cost != want.Cost || run.Evaluations != want.Evaluations {
+				t.Errorf("record %d %s: (cost, evals) = (%v, %d), want (%v, %d)",
+					i, run.Algorithm, run.Cost, run.Evaluations, want.Cost, want.Evaluations)
+			}
+			if run.Algorithm == "OBC-CF" || run.Algorithm == "OBC-EE" {
+				if warm == nil || run.Cost < warm.Cost {
+					r := run
+					r.Result = want
+					warm = &r
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignJSONL: records stream as one JSON object per line, in
+// index order, and round-trip.
+func TestCampaignJSONL(t *testing.T) {
+	specs := PopulationSpecs([]int{2}, 3, 1, 2.0)
+	var buf bytes.Buffer
+	recs, err := WriteJSONL(context.Background(), specs, quickOpts(),
+		Options{Workers: 4, SAWarmFromOBC: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Record
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d: %v", len(lines), err)
+		}
+		lines = append(lines, r)
+	}
+	if len(lines) != len(recs) || len(lines) != len(specs) {
+		t.Fatalf("%d lines for %d records / %d specs", len(lines), len(recs), len(specs))
+	}
+	for i, r := range lines {
+		if r.Index != i {
+			t.Errorf("line %d has index %d", i, r.Index)
+		}
+		if r.Best != recs[i].Best || r.BestCost != recs[i].BestCost {
+			t.Errorf("line %d does not round-trip: %+v vs %+v", i, r, recs[i])
+		}
+	}
+}
+
+// TestCampaignEmitErrorAborts: a failing emit cancels the campaign.
+func TestCampaignEmitErrorAborts(t *testing.T) {
+	specs := PopulationSpecs([]int{2}, 4, 1, 2.0)
+	boom := errors.New("sink full")
+	n := 0
+	err := Run(context.Background(), specs, quickOpts(), Options{Workers: 2},
+		func(Record) error { n++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n != 1 {
+		t.Errorf("emit called %d times after failing, want 1", n)
+	}
+}
+
+// TestCampaignCancel: cancelling the context aborts the run with the
+// context error.
+func TestCampaignCancel(t *testing.T) {
+	specs := PopulationSpecs([]int{2}, 8, 1, 2.0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Run(ctx, specs, quickOpts(), Options{Workers: 2}, func(Record) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPopulationSpecs: the Fig. 9 seeding scheme.
+func TestPopulationSpecs(t *testing.T) {
+	specs := PopulationSpecs([]int{2, 3}, 2, 10, 1.5)
+	if len(specs) != 4 {
+		t.Fatalf("%d specs, want 4", len(specs))
+	}
+	if specs[0].Seed != 10+2000 || specs[3].Seed != 10+3000+1 {
+		t.Errorf("unexpected seeds %d, %d", specs[0].Seed, specs[3].Seed)
+	}
+	if specs[0].DeadlineFactor != 1.5 {
+		t.Errorf("deadline factor %v, want 1.5", specs[0].DeadlineFactor)
+	}
+}

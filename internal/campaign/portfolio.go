@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Algorithms is the canonical optimiser portfolio, in the paper's
+// order. Ties on cost are broken towards the earlier algorithm, so a
+// portfolio run picks a deterministic winner.
+var Algorithms = []string{"BBC", "OBC-CF", "OBC-EE", "SA"}
+
+// NormalizeAlgorithm maps user-facing spellings ("obc-cf", "ObcCf",
+// "sa") onto the canonical names of Algorithms.
+func NormalizeAlgorithm(name string) (string, error) {
+	n := strings.ToUpper(strings.ReplaceAll(strings.TrimSpace(name), "_", "-"))
+	for _, a := range Algorithms {
+		if n == a || n == strings.ReplaceAll(a, "-", "") {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("campaign: unknown algorithm %q (want one of %s)",
+		name, strings.Join(Algorithms, ", "))
+}
+
+// runAlgorithm dispatches one canonical algorithm name.
+func runAlgorithm(name string, sys *model.System, opts core.Options) (*core.Result, error) {
+	switch name {
+	case "BBC":
+		return core.BBC(sys, opts)
+	case "OBC-CF":
+		return core.OBCCF(sys, opts)
+	case "OBC-EE":
+		return core.OBCEE(sys, opts)
+	case "SA":
+		return core.SA(sys, opts)
+	}
+	return nil, fmt.Errorf("campaign: unknown algorithm %q", name)
+}
+
+// AlgoRun is the telemetry of one algorithm inside a portfolio or
+// campaign run.
+type AlgoRun struct {
+	Algorithm   string  `json:"algorithm"`
+	Cost        float64 `json:"cost"`
+	Schedulable bool    `json:"schedulable"`
+	Evaluations int     `json:"evaluations"`
+	ElapsedUs   int64   `json:"elapsed_us"`
+	Err         string  `json:"error,omitempty"`
+	// Result is the full optimiser outcome (nil when Err is set); it
+	// is kept for in-process consumers and skipped in JSON.
+	Result *core.Result `json:"-"`
+}
+
+// bestRun picks the deterministic winner of a run set: canonical
+// Algorithms order, strictly better cost to displace. Returns nil when
+// no run produced a result.
+func bestRun(runs []AlgoRun) *AlgoRun {
+	var best *AlgoRun
+	for _, alg := range Algorithms {
+		for i := range runs {
+			r := &runs[i]
+			if r.Algorithm != alg || r.Result == nil {
+				continue
+			}
+			if best == nil || r.Result.Cost < best.Result.Cost {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// newAlgoRun packages one optimiser outcome.
+func newAlgoRun(alg string, res *core.Result, err error) AlgoRun {
+	r := AlgoRun{Algorithm: alg, Result: res}
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	r.Cost = res.Cost
+	r.Schedulable = res.Schedulable
+	r.Evaluations = res.Evaluations
+	r.ElapsedUs = res.Elapsed.Microseconds()
+	return r
+}
+
+// PortfolioResult is the outcome of racing the optimiser portfolio on
+// one system.
+type PortfolioResult struct {
+	// Best is the cheapest result across the portfolio (ties broken
+	// by Algorithms order).
+	Best *core.Result
+	// Runs carries one entry per requested algorithm, in request
+	// order.
+	Runs []AlgoRun
+	// Engine snapshots the shared evaluation engine after the race:
+	// cache hits count work one algorithm saved another.
+	Engine EngineStats
+	// Elapsed is the wall-clock time of the whole race — with more
+	// than one worker it is well below the sum of the per-run times.
+	Elapsed time.Duration
+}
+
+// Portfolio races the requested optimisers (default: all of
+// Algorithms) concurrently on one system over a shared evaluation
+// engine and returns the best result plus per-algorithm telemetry.
+// Every algorithm still runs to completion so the telemetry is
+// complete. The shared engine deduplicates overlapping candidate
+// evaluations across algorithms (BBC's sweep is a subset of OBC's
+// seed sweep, and SA revisits configurations).
+//
+// Results are deterministic for any EngineOptions.Workers value; the
+// engine only changes how fast they arrive. Cancelling ctx aborts the
+// race with ctx's error.
+func Portfolio(ctx context.Context, sys *model.System, opts core.Options, eng EngineOptions, algorithms ...string) (*PortfolioResult, error) {
+	if len(algorithms) == 0 {
+		algorithms = Algorithms
+	}
+	algs := make([]string, len(algorithms))
+	for i, a := range algorithms {
+		c, err := NormalizeAlgorithm(a)
+		if err != nil {
+			return nil, err
+		}
+		algs[i] = c
+	}
+
+	start := time.Now()
+	engine := NewEngine(ctx, eng)
+	runOpts := engine.Hook(opts)
+
+	runs := make([]AlgoRun, len(algs))
+	var wg sync.WaitGroup
+	for i, alg := range algs {
+		wg.Add(1)
+		go func(i int, alg string) {
+			defer wg.Done()
+			res, err := runAlgorithm(alg, sys, runOpts)
+			runs[i] = newAlgoRun(alg, res, err)
+		}(i, alg)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := &PortfolioResult{
+		Runs:    runs,
+		Engine:  engine.Stats(),
+		Elapsed: time.Since(start),
+	}
+	if best := bestRun(runs); best != nil {
+		out.Best = best.Result
+	}
+	if out.Best == nil {
+		for _, r := range runs {
+			if r.Err != "" {
+				return nil, fmt.Errorf("campaign: every algorithm failed, first: %s", r.Err)
+			}
+		}
+		return nil, fmt.Errorf("campaign: empty portfolio")
+	}
+	return out, nil
+}

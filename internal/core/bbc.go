@@ -37,38 +37,42 @@ func BBC(sys *model.System, opts Options) (*Result, error) {
 	cfg.StaticSlotLen = minStaticSlotLen(sys, opts.Params)
 	cfg.StaticSlotOwner = assignSlotsRoundRobin(senders, cfg.NumStaticSlots)
 
-	// Lines 5-12: sweep the dynamic segment length.
-	var (
-		best     *flexray.Config
-		bestRes  *analysis.Result
-		bestCost = infeasibleCost * 2
-	)
-	try := func(nMS int) {
-		if e.exhausted() {
-			return
-		}
+	// Lines 5-12: sweep the dynamic segment length. The grid points
+	// are independent, so the sweep is evaluated as one batch (the
+	// campaign engine fans it across its worker pool); the reduction
+	// in grid order reproduces the serial loop exactly.
+	var cands []*flexray.Config
+	add := func(nMS int) {
 		cand := cfg.Clone()
 		cand.NumMinislots = nMS
 		if cand.Cycle() >= flexray.MaxCycle { // line 7
 			return
 		}
-		res, cost := e.eval(cand) // line 8-9
-		if cost < bestCost {      // line 10
-			best, bestRes, bestCost = cand, res, cost
-		}
+		cands = append(cands, cand)
 	}
 
 	if len(fids) == 0 {
 		// No dynamic traffic: a single evaluation with an empty DYN
 		// segment.
-		try(0)
+		add(0)
 	} else {
 		minMS, maxMS := dynBounds(sys, cfg, opts.MinislotLen)
 		if maxMS < minMS {
 			return nil, errNoDYNRoom
 		}
 		for _, nMS := range dynGrid(minMS, maxMS, opts.DYNGridCap) {
-			try(nMS)
+			add(nMS)
+		}
+	}
+	var (
+		best     *flexray.Config
+		bestRes  *analysis.Result
+		bestCost = infeasibleCost * 2
+	)
+	ress, costs, n := e.evalBatch(cands) // lines 8-9
+	for i := 0; i < n; i++ {
+		if costs[i] < bestCost { // line 10
+			best, bestRes, bestCost = cands[i], ress[i], costs[i]
 		}
 	}
 	if best == nil {

@@ -30,6 +30,23 @@ import (
 	"repro/internal/units"
 )
 
+// EvalHook intercepts the evaluation of candidate configurations (one
+// global scheduling run plus one holistic analysis each). The campaign
+// engine plugs in here to add caching, cancellation and worker-pool
+// parallelism without the optimisers knowing. Implementations must be
+// pure: the same (system, config, options) triple must always produce
+// the same result, and EvalBatch must return slices positionally
+// aligned with cfgs. A nil analysis result with an infeasible cost
+// marks configurations that could not be scheduled at all.
+type EvalHook interface {
+	// Eval evaluates one candidate configuration.
+	Eval(sys *model.System, cfg *flexray.Config, opts sched.Options) (*analysis.Result, float64)
+	// EvalBatch evaluates independent candidates, possibly
+	// concurrently; the optimisers only call it for candidate sets
+	// whose evaluations do not depend on each other.
+	EvalBatch(sys *model.System, cfgs []*flexray.Config, opts sched.Options) ([]*analysis.Result, []float64)
+}
+
 // Options tune the optimisers. Zero values select the defaults of
 // DefaultOptions.
 type Options struct {
@@ -70,6 +87,11 @@ type Options struct {
 	// anytime algorithms: when the budget runs out they return the
 	// best configuration seen so far.
 	MaxEvaluations int
+
+	// Eval, when non-nil, replaces the built-in serial evaluation of
+	// candidate configurations. Results are unchanged for any pure
+	// hook; see EvalHook.
+	Eval EvalHook
 
 	// SAIterations bounds the simulated annealing run.
 	SAIterations int
@@ -170,11 +192,49 @@ type evaluator struct {
 
 func (e *evaluator) eval(cfg *flexray.Config) (*analysis.Result, float64) {
 	e.evals++
-	_, res, err := sched.Build(e.sys, cfg, e.opts.Sched)
+	if e.opts.Eval != nil {
+		return e.opts.Eval.Eval(e.sys, cfg, e.opts.Sched)
+	}
+	return evalSerial(e.sys, cfg, e.opts.Sched)
+}
+
+// evalSerial is the built-in evaluation: one schedule build plus one
+// holistic analysis.
+func evalSerial(sys *model.System, cfg *flexray.Config, opts sched.Options) (*analysis.Result, float64) {
+	_, res, err := sched.Build(sys, cfg, opts)
 	if err != nil {
 		return nil, infeasibleCost
 	}
 	return res, res.Cost
+}
+
+// evalBatch evaluates a slice of independent candidates and returns the
+// positionally aligned results plus how many were evaluated. The
+// remaining MaxEvaluations budget truncates the batch in slice order —
+// exactly the prefix the serial loop would have reached — so batched
+// sweeps spend the budget identically to candidate-at-a-time sweeps.
+func (e *evaluator) evalBatch(cfgs []*flexray.Config) ([]*analysis.Result, []float64, int) {
+	n := len(cfgs)
+	if e.opts.MaxEvaluations > 0 {
+		if rem := e.opts.MaxEvaluations - e.evals; rem < n {
+			n = rem
+			if n < 0 {
+				n = 0
+			}
+		}
+	}
+	cfgs = cfgs[:n]
+	e.evals += n
+	if e.opts.Eval != nil {
+		ress, costs := e.opts.Eval.EvalBatch(e.sys, cfgs, e.opts.Sched)
+		return ress, costs, n
+	}
+	ress := make([]*analysis.Result, n)
+	costs := make([]float64, n)
+	for i, cfg := range cfgs {
+		ress[i], costs[i] = evalSerial(e.sys, cfg, e.opts.Sched)
+	}
+	return ress, costs, n
 }
 
 // exhausted reports whether the evaluation budget has run out.

@@ -326,10 +326,12 @@ func (cf *curveFit) bestExactCost() float64 {
 
 // bestExact returns the best exactly evaluated configuration (the
 // "return infeasible DYNbus" exits of Fig. 8 still report the best
-// candidate so the outer loop can keep a global incumbent).
+// candidate so the outer loop can keep a global incumbent). Ties are
+// broken towards the smallest segment so the pick never depends on map
+// iteration order.
 func (cf *curveFit) bestExact() (*flexray.Config, *analysis.Result, float64) {
 	var best *evalPoint
-	for _, p := range cf.pts {
+	for _, p := range cf.sortedPoints() {
 		if best == nil || p.cost < best.cost {
 			best = p
 		}

@@ -135,37 +135,41 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 }
 
 // exhaustiveDYN evaluates every dynamic segment size on the sweep grid
-// and returns the cheapest (the OBCEE inner loop).
+// and returns the cheapest (the OBCEE inner loop). The grid points are
+// independent, so they are evaluated as one batch: the campaign engine
+// fans the batch across its worker pool, while the grid-order reduction
+// keeps the selection identical to the serial loop.
 func exhaustiveDYN(e *evaluator, cfg *flexray.Config) (*flexray.Config, *analysis.Result, float64) {
-	var (
-		best     *flexray.Config
-		bestRes  *analysis.Result
-		bestCost = infeasibleCost * 2
-	)
-	try := func(nMS int) {
-		if e.exhausted() {
-			return
-		}
+	var cands []*flexray.Config
+	add := func(nMS int) {
 		cand := cfg.Clone()
 		cand.NumMinislots = nMS
 		if cand.Cycle() >= flexray.MaxCycle {
 			return
 		}
-		res, cost := e.eval(cand)
-		if cost < bestCost {
-			best, bestRes, bestCost = cand, res, cost
-		}
+		cands = append(cands, cand)
 	}
 	if len(cfg.FrameID) == 0 {
-		try(0)
-		return best, bestRes, bestCost
+		add(0)
+	} else {
+		minMS, maxMS := dynBounds(e.sys, cfg, cfg.MinislotLen)
+		if maxMS < minMS {
+			return nil, nil, infeasibleCost * 2
+		}
+		for _, nMS := range dynGrid(minMS, maxMS, e.opts.DYNGridCap) {
+			add(nMS)
+		}
 	}
-	minMS, maxMS := dynBounds(e.sys, cfg, cfg.MinislotLen)
-	if maxMS < minMS {
-		return nil, nil, infeasibleCost * 2
-	}
-	for _, nMS := range dynGrid(minMS, maxMS, e.opts.DYNGridCap) {
-		try(nMS)
+	var (
+		best     *flexray.Config
+		bestRes  *analysis.Result
+		bestCost = infeasibleCost * 2
+	)
+	ress, costs, n := e.evalBatch(cands)
+	for i := 0; i < n; i++ {
+		if costs[i] < bestCost {
+			best, bestRes, bestCost = cands[i], ress[i], costs[i]
+		}
 	}
 	return best, bestRes, bestCost
 }

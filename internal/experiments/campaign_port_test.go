@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFig7WorkerInvariance: the Fig. 7 sweep is identical no matter how
+// many engine workers evaluate it.
+func TestFig7WorkerInvariance(t *testing.T) {
+	p := DefaultFig7Params()
+	p.Points = 5
+	p.Workers = 1
+	one, err := Fig7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	four, err := Fig7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Errorf("fig7 differs across worker counts:\n%+v\nvs\n%+v", one, four)
+	}
+}
+
+// TestFig9WorkerInvariance: the Fig. 9 population sweep aggregates to
+// identical cells (costs, deviations, schedulability, evaluation
+// counts) at one worker and at four — only wall-clock may differ.
+func TestFig9WorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population sweep in -short mode")
+	}
+	p := QuickFig9Params()
+	p.AppsPerSet = 2
+	p.NodeCounts = []int{2}
+	run := func(workers int) []Fig9Cell {
+		p.Workers = workers
+		res, err := Fig9(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := make([]Fig9Cell, len(res.Cells))
+		for i, c := range res.Cells {
+			c.TotalTime = 0
+			cells[i] = c
+		}
+		return cells
+	}
+	one := run(1)
+	four := run(4)
+	if !reflect.DeepEqual(one, four) {
+		t.Errorf("fig9 differs across worker counts:\n%+v\nvs\n%+v", one, four)
+	}
+}

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/analysis"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/flexray"
 	"repro/internal/model"
@@ -25,6 +26,10 @@ type Fig7Params struct {
 	DYNMinUs  float64
 	DYNMaxUs  float64
 	ExactFill bool
+	// Workers evaluates the sweep points concurrently through the
+	// campaign engine; <= 0 selects GOMAXPROCS. The points are
+	// independent, so the series is identical at any worker count.
+	Workers int
 }
 
 // DefaultFig7Params mirror the paper's setup.
@@ -148,19 +153,32 @@ func Fig7(p Fig7Params) (*Fig7Series, error) {
 	opts.Analysis.ExactFill = p.ExactFill
 	minMS := int(units.CeilDiv(int64(units.Microseconds(p.DYNMinUs)), int64(cfg.MinislotLen)))
 	maxMS := int(int64(units.Microseconds(p.DYNMaxUs)) / int64(cfg.MinislotLen))
+	// The sweep points are independent, so they are built up front and
+	// fanned across the campaign engine's worker pool; the series is
+	// assembled in sweep order afterwards.
+	cands := make([]*flexray.Config, p.Points)
 	for i := 0; i < p.Points; i++ {
 		// Geometric spacing, matching the paper's x-axis (2285,
 		// 2418, ..., 11214, 13000).
 		frac := float64(i) / float64(p.Points-1)
 		nMS := int(float64(minMS)*math.Pow(float64(maxMS)/float64(minMS), frac) + 0.5)
-		cand := cfg.Clone()
-		cand.NumMinislots = nMS
-		var res *analysis.Result
-		_, res, err = sched.Build(sys, cand, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 at %d minislots: %w", nMS, err)
+		cands[i] = cfg.Clone()
+		cands[i].NumMinislots = nMS
+	}
+	engine := campaign.NewEngine(context.Background(), campaign.EngineOptions{Workers: p.Workers})
+	ress, _ := engine.EvalBatch(sys, cands, opts)
+	for i, res := range ress {
+		if res == nil {
+			// The engine folds build failures into an infeasible
+			// marker; rebuild the one failing point serially to
+			// recover the underlying error for the caller.
+			if _, _, err := sched.Build(sys, cands[i], opts); err != nil {
+				return nil, fmt.Errorf("fig7 at %d minislots: %w", cands[i].NumMinislots, err)
+			}
+			return nil, fmt.Errorf("fig7 at %d minislots: schedule construction failed",
+				cands[i].NumMinislots)
 		}
-		pt := Fig7Point{DYNBus: cand.DYNBus(), GdCycle: cand.Cycle(), CostSign: res.Cost}
+		pt := Fig7Point{DYNBus: cands[i].DYNBus(), GdCycle: cands[i].Cycle(), CostSign: res.Cost}
 		for _, m := range dyn {
 			pt.R = append(pt.R, res.R[m])
 		}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
-	"repro/internal/synth"
 )
 
 // Fig9Params scale the heuristic evaluation. The paper generated 25
@@ -31,6 +32,12 @@ type Fig9Params struct {
 	// Opts configures the optimisers; SAIterations is the knob that
 	// trades baseline quality for runtime.
 	Opts core.Options
+	// Workers is the number of systems optimised concurrently by the
+	// campaign engine; <= 0 selects GOMAXPROCS. The population sweep
+	// is embarrassingly parallel, and per-system results are
+	// independent of the worker count, so the figure is identical at
+	// any setting — only the wall-clock changes.
+	Workers int
 }
 
 // DefaultFig9Params returns a laptop-scale configuration: the paper's
@@ -107,7 +114,10 @@ func (r *Fig9Result) Cell(alg string, nodes int) *Fig9Cell {
 // Fig9 regenerates both panels of Fig. 9: for every node count it
 // generates AppsPerSet systems, optimises each with BBC, OBC-CF, OBC-EE
 // and SA, and aggregates cost-function deviations versus SA and
-// optimisation times.
+// optimisation times. The population is sharded across Workers by the
+// campaign runner — SA warm-starts from the best OBC configuration of
+// the same system (SAWarmFromOBC), emulating the paper's hours-long
+// independent baseline runs with a bounded budget.
 func Fig9(p Fig9Params) (*Fig9Result, error) {
 	if len(p.NodeCounts) == 0 {
 		p = DefaultFig9Params()
@@ -127,53 +137,41 @@ func Fig9(p Fig9Params) (*Fig9Result, error) {
 		return c
 	}
 
-	for _, nodes := range p.NodeCounts {
-		for app := 0; app < p.AppsPerSet; app++ {
-			seed := p.Seed + int64(nodes)*1000 + int64(app)
-			sp := synth.DefaultParams(nodes, seed)
-			if p.DeadlineFactor > 0 {
-				sp.DeadlineFactor = p.DeadlineFactor
+	specs := campaign.PopulationSpecs(p.NodeCounts, p.AppsPerSet, p.Seed, p.DeadlineFactor)
+	err := campaign.Run(context.Background(), specs, p.Opts,
+		campaign.Options{Workers: p.Workers, SAWarmFromOBC: true},
+		func(rec campaign.Record) error {
+			if rec.Err != "" {
+				return fmt.Errorf("fig9: n=%d seed=%d: %s", rec.Nodes, rec.Seed, rec.Err)
 			}
-			sys, err := synth.Generate(sp)
-			if err != nil {
-				return nil, fmt.Errorf("fig9: generate n=%d seed=%d: %w", nodes, seed, err)
+			var sa *campaign.AlgoRun
+			for i := range rec.Runs {
+				r := &rec.Runs[i]
+				if r.Err != "" {
+					return fmt.Errorf("fig9: %s n=%d seed=%d: %s",
+						r.Algorithm, rec.Nodes, rec.Seed, r.Err)
+				}
+				if r.Algorithm == "SA" {
+					sa = r
+				}
 			}
-
-			bbc, errB := core.BBC(sys, p.Opts)
-			cf, errC := core.OBCCF(sys, p.Opts)
-			ee, errE := core.OBCEE(sys, p.Opts)
-			if errB != nil || errC != nil || errE != nil {
-				return nil, fmt.Errorf("fig9: n=%d seed=%d: %w",
-					nodes, seed, firstErr(errB, errC, errE))
+			if sa == nil {
+				return fmt.Errorf("fig9: n=%d seed=%d: no SA baseline", rec.Nodes, rec.Seed)
 			}
-			// SA is the baseline: it refines the best heuristic
-			// configuration, emulating the paper's hours-long
-			// independent runs with a bounded budget.
-			saOpts := p.Opts
-			saOpts.SAWarmStart = cf.Config
-			if ee.Cost < cf.Cost {
-				saOpts.SAWarmStart = ee.Config
-			}
-			sa, err := core.SA(sys, saOpts)
-			if err != nil {
-				return nil, fmt.Errorf("fig9: SA n=%d seed=%d: %w", nodes, seed, err)
-			}
-
-			record := func(alg string, res *core.Result) {
-				c := cell(alg, nodes)
+			for _, run := range rec.Runs {
+				c := cell(run.Algorithm, rec.Nodes)
 				c.Total++
-				c.TotalTime += res.Elapsed
-				c.Evaluations += res.Evaluations
-				if res.Schedulable {
+				c.TotalTime += run.Result.Elapsed
+				c.Evaluations += run.Evaluations
+				if run.Schedulable {
 					c.Schedulable++
 				}
-				c.AvgDeviationPct += deviationPct(res.Cost, sa.Cost)
+				c.AvgDeviationPct += deviationPct(run.Cost, sa.Cost)
 			}
-			record("SA", sa)
-			record("BBC", bbc)
-			record("OBC-CF", cf)
-			record("OBC-EE", ee)
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Finalise averages and a stable ordering.
@@ -203,13 +201,4 @@ func deviationPct(cost, base float64) float64 {
 		den = 1
 	}
 	return 100 * (cost - base) / den
-}
-
-func firstErr(errs ...error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
 }

@@ -1,0 +1,43 @@
+package flexray
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Fingerprint returns a collision-resistant 128-bit digest of the
+// configuration, identical for semantically identical configurations
+// (the FrameID map is folded in sorted order). The campaign engine uses
+// it as the key of its bounded evaluation cache.
+func (c *Config) Fingerprint() [16]byte {
+	h := fnv.New128a()
+	var buf [8]byte
+	w := func(v int64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w(int64(c.StaticSlotLen))
+	w(int64(c.NumStaticSlots))
+	for _, o := range c.StaticSlotOwner {
+		w(int64(o))
+	}
+	w(int64(c.MinislotLen))
+	w(int64(c.NumMinislots))
+	w(int64(c.Policy))
+	ids := make([]int, 0, len(c.FrameID))
+	for m := range c.FrameID {
+		ids = append(ids, int(m))
+	}
+	sort.Ints(ids)
+	for _, m := range ids {
+		w(int64(m))
+		w(int64(c.FrameID[model.ActID(m)]))
+	}
+	var out [16]byte
+	h.Sum(out[:0])
+	return out
+}
