@@ -12,6 +12,7 @@ package flexopt_test
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
 
 	flexopt "repro"
@@ -22,6 +23,7 @@ import (
 // BenchmarkFig1Trace regenerates the Fig. 1 protocol-mechanics trace
 // (two bus cycles, eight messages, three nodes).
 func BenchmarkFig1Trace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.Fig1Trace(); err != nil {
 			b.Fatal(err)
@@ -32,6 +34,7 @@ func BenchmarkFig1Trace(b *testing.B) {
 // BenchmarkFig3STSegment regenerates the three static-segment
 // configurations of Fig. 3 (paper: R3 = 16/12/10).
 func BenchmarkFig3STSegment(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig3()
 		if err != nil {
@@ -48,6 +51,7 @@ func BenchmarkFig3STSegment(b *testing.B) {
 // BenchmarkFig4DYNSegment regenerates the three dynamic-segment
 // configurations of Fig. 4 (paper: R2 = 37/35/21).
 func BenchmarkFig4DYNSegment(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig4()
 		if err != nil {
@@ -65,6 +69,7 @@ func BenchmarkFig4DYNSegment(b *testing.B) {
 // dynamic-segment-length characterisation (Fig. 7) at a reduced
 // resolution.
 func BenchmarkFig7DYNSweep(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.DefaultFig7Params()
 	p.Points = 9
 	for i := 0; i < b.N; i++ {
@@ -77,6 +82,7 @@ func BenchmarkFig7DYNSweep(b *testing.B) {
 // BenchmarkFig9Quality regenerates a reduced Fig. 9 left panel: cost
 // deviation of BBC / OBC-CF / OBC-EE versus the SA baseline.
 func BenchmarkFig9Quality(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.QuickFig9Params()
 	p.AppsPerSet = 1
 	p.NodeCounts = []int{2, 3}
@@ -94,6 +100,7 @@ func BenchmarkFig9Quality(b *testing.B) {
 // BenchmarkFig9Runtime times the four optimisers on one mid-size
 // system (Fig. 9 right panel, single column).
 func BenchmarkFig9Runtime(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := flexopt.Generate(flexopt.DefaultGenParams(3, 77))
 	if err != nil {
 		b.Fatal(err)
@@ -109,6 +116,7 @@ func BenchmarkFig9Runtime(b *testing.B) {
 		{"SA", flexopt.SA},
 	} {
 		b.Run(alg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := alg.run(sys, opts); err != nil {
 					b.Fatal(err)
@@ -121,6 +129,7 @@ func BenchmarkFig9Runtime(b *testing.B) {
 // BenchmarkCruiseController regenerates the in-text case study: BBC
 // unschedulable, OBC-CF and OBC-EE schedulable with OBC-CF cheaper.
 func BenchmarkCruiseController(b *testing.B) {
+	b.ReportAllocs()
 	opts := core.DefaultOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Cruise(opts)
@@ -139,6 +148,7 @@ func BenchmarkCruiseController(b *testing.B) {
 // BenchmarkAblations runs the three design-choice ablations of
 // DESIGN.md §6 (FrameID order, latest-transmission rule, fill solver).
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Ablations([]int64{1, 2}, 2)
 		if err != nil {
@@ -153,6 +163,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkEvaluation measures a single schedule+analysis evaluation —
 // the unit of work every optimiser spends its budget on.
 func BenchmarkEvaluation(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := flexopt.Generate(flexopt.DefaultGenParams(4, 123))
 	if err != nil {
 		b.Fatal(err)
@@ -172,6 +183,7 @@ func BenchmarkEvaluation(b *testing.B) {
 // BenchmarkSimulation measures one hyper-period of discrete-event
 // simulation of a configured four-node system.
 func BenchmarkSimulation(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := flexopt.Generate(flexopt.DefaultGenParams(4, 123))
 	if err != nil {
 		b.Fatal(err)
@@ -227,10 +239,12 @@ func campaignBenchOpts() flexopt.Options {
 // single-core machine the curves coincide — there is nothing to
 // parallelise onto).
 func BenchmarkCampaignWorkers(b *testing.B) {
+	b.ReportAllocs()
 	specs := fig7Population(6)
 	opts := campaignBenchOpts()
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				err := flexopt.Campaign(context.Background(), specs, opts,
 					flexopt.CampaignOptions{Workers: workers},
@@ -246,6 +260,7 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 // BenchmarkPortfolioWorkers measures racing the full optimiser
 // portfolio on one Fig. 7 system over the shared caching engine.
 func BenchmarkPortfolioWorkers(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := flexopt.Generate(fig7Population(1)[0])
 	if err != nil {
 		b.Fatal(err)
@@ -253,6 +268,7 @@ func BenchmarkPortfolioWorkers(b *testing.B) {
 	opts := campaignBenchOpts()
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := flexopt.Portfolio(context.Background(), sys, opts,
 					flexopt.EngineOptions{Workers: workers}); err != nil {
@@ -261,4 +277,65 @@ func BenchmarkPortfolioWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// sessionBenchConfigs builds the candidate stream of the evaluation
+// session benchmark: a DYN-length sweep at fixed geometry interleaved
+// with SA-style FrameID rotations — the two workloads the optimisers
+// actually produce.
+func sessionBenchConfigs(b *testing.B, sys *flexopt.System) []*flexopt.Config {
+	res, err := flexopt.BBC(sys, flexopt.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := res.Config
+	msgs := make([]flexopt.ActID, 0, len(base.FrameID))
+	for m := range base.FrameID {
+		msgs = append(msgs, m)
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+
+	var cfgs []*flexopt.Config
+	for i := 0; i < 16; i++ {
+		c := base.Clone()
+		c.NumMinislots += 4 * i
+		cfgs = append(cfgs, c)
+	}
+	for r := 1; r < 16 && len(msgs) > 1; r++ {
+		c := base.Clone()
+		for i, m := range msgs {
+			c.FrameID[m] = base.FrameID[msgs[(i+r)%len(msgs)]]
+		}
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// BenchmarkEvalSession compares the cost of one candidate evaluation on
+// the fresh path (one schedule build plus one single-use analyzer, the
+// pre-session pipeline) against one long-lived evaluation session.
+// Run with -benchmem: the session's point is the allocs/op column.
+func BenchmarkEvalSession(b *testing.B) {
+	sys, err := flexopt.Generate(flexopt.DefaultGenParams(4, 123))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := sessionBenchConfigs(b, sys)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := flexopt.BuildSchedule(sys, cfgs[i%len(cfgs)], flexopt.DefaultSchedOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		b.ReportAllocs()
+		sess := flexopt.NewEvalSession(sys, flexopt.DefaultSchedOptions())
+		for i := 0; i < b.N; i++ {
+			if res, cost := sess.Eval(cfgs[i%len(cfgs)]); res == nil {
+				b.Fatalf("config %d infeasible (cost %v)", i%len(cfgs), cost)
+			}
+		}
+	})
 }

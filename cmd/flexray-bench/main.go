@@ -15,8 +15,11 @@
 //	flexray-bench all [-full]
 //
 // The population sweeps (fig7, fig9, campaign) shard their work across
-// -workers goroutines through the campaign engine; the printed figures
-// are identical at any worker count.
+// -workers goroutines through the campaign engine; the default is one
+// worker per CPU (runtime.GOMAXPROCS) and the printed figures are
+// identical at any worker count. -cpuprofile writes a runtime/pprof
+// CPU profile of the whole run for inspecting the evaluation-session
+// hot path.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -32,13 +37,15 @@ import (
 	"repro/internal/experiments"
 )
 
-var workers = flag.Int("workers", 0, "concurrent evaluation workers for the population sweeps (0 = GOMAXPROCS)")
+var workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+	"concurrent evaluation workers for the population sweeps (default: one per CPU)")
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale Fig. 9 population (25 apps per node count)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
-	// Accept the -full and -workers flags in any position: the flag
-	// package stops parsing at the first subcommand.
+	// Accept the flags in any position: the flag package stops
+	// parsing at the first subcommand.
 	var cmds []string
 	args := flag.Args()
 	for i := 0; i < len(args); i++ {
@@ -47,27 +54,32 @@ func main() {
 		case a == "-full" || a == "--full":
 			*full = true
 		case a == "-workers" || a == "--workers":
-			if i+1 >= len(args) {
-				fmt.Fprintln(os.Stderr, "flexray-bench: -workers needs a value")
-				os.Exit(2)
-			}
 			i++
-			n, err := strconv.Atoi(args[i])
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "flexray-bench: bad -workers value %q\n", args[i])
-				os.Exit(2)
-			}
-			*workers = n
+			*workers = intArg(args, i, "-workers")
 		case strings.HasPrefix(a, "-workers=") || strings.HasPrefix(a, "--workers="):
-			n, err := strconv.Atoi(a[strings.Index(a, "=")+1:])
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "flexray-bench: bad -workers value %q\n", a)
-				os.Exit(2)
-			}
-			*workers = n
+			*workers = intVal(a, "-workers")
+		case a == "-cpuprofile" || a == "--cpuprofile":
+			i++
+			*cpuprofile = strArg(args, i, "-cpuprofile")
+		case strings.HasPrefix(a, "-cpuprofile=") || strings.HasPrefix(a, "--cpuprofile="):
+			*cpuprofile = a[strings.Index(a, "=")+1:]
 		default:
 			cmds = append(cmds, a)
 		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
 	}
 	if len(cmds) == 0 {
 		cmds = []string{"all"}
@@ -100,9 +112,47 @@ func main() {
 			fig9(*full)
 		default:
 			fmt.Fprintf(os.Stderr, "flexray-bench: unknown experiment %q\n", cmd)
+			stopProfile()
 			os.Exit(2)
 		}
 	}
+}
+
+// stopProfile flushes a running CPU profile; exits through fail() or
+// the unknown-experiment path call it explicitly because os.Exit skips
+// the deferred flush, which would leave the profile file empty.
+var stopProfile = func() {}
+
+// strArg returns args[i] or exits with a usage error when the flag has
+// no value.
+func strArg(args []string, i int, flag string) string {
+	if i >= len(args) {
+		fmt.Fprintf(os.Stderr, "flexray-bench: %s needs a value\n", flag)
+		os.Exit(2)
+	}
+	return args[i]
+}
+
+// intArg parses args[i] as the integer value of flag.
+func intArg(args []string, i int, flag string) int {
+	v := strArg(args, i, flag)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexray-bench: bad %s value %q\n", flag, v)
+		os.Exit(2)
+	}
+	return n
+}
+
+// intVal parses the integer after "=" in a -flag=value argument.
+func intVal(a, flag string) int {
+	v := a[strings.Index(a, "=")+1:]
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexray-bench: bad %s value %q\n", flag, a)
+		os.Exit(2)
+	}
+	return n
 }
 
 func header(title string) {
@@ -111,6 +161,7 @@ func header(title string) {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "flexray-bench:", err)
+	stopProfile()
 	os.Exit(1)
 }
 

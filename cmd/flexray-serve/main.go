@@ -6,7 +6,7 @@
 // Usage:
 //
 //	flexray-serve [-addr :8080] [-workers N] [-max-concurrent M]
-//	              [-timeout 2m] [-max-body 8388608]
+//	              [-timeout 2m] [-max-body 8388608] [-pprof]
 //
 // Endpoints:
 //
@@ -15,6 +15,7 @@
 //	POST /v1/analyze   {"system": {...}, "config": {...}}
 //	POST /v1/simulate  {"system": {...}, "config": {...}, "repetitions": 2}
 //	GET  /healthz
+//	GET  /debug/pprof/ (only with -pprof; off by default)
 //
 // Example round-trip (the paper's cruise-controller case study):
 //
@@ -39,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -62,6 +64,7 @@ func main() {
 		maxConc = flag.Int("max-concurrent", 2, "heavy requests served at once (excess gets 503)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request wall-clock budget")
 		maxBody = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the evaluation sessions)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,7 @@ func main() {
 		MaxConcurrent: *maxConc,
 		Timeout:       *timeout,
 		MaxBody:       *maxBody,
+		Pprof:         *pprofOn,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -109,6 +113,10 @@ type serverConfig struct {
 	MaxConcurrent int
 	Timeout       time.Duration
 	MaxBody       int64
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints leak heap contents and must
+	// never face untrusted clients.
+	Pprof bool
 }
 
 // server carries the shared request-shaping state; it implements
@@ -140,6 +148,16 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("POST /v1/optimize", s.guard(s.handleOptimize))
 	s.mux.HandleFunc("POST /v1/analyze", s.guard(s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/simulate", s.guard(s.handleSimulate))
+	if cfg.Pprof {
+		// Mounted on the server's own mux (we never serve
+		// http.DefaultServeMux, so the net/http/pprof side-effect
+		// registrations alone would not be reachable).
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

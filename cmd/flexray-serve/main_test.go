@@ -274,3 +274,38 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz: %d", resp.StatusCode)
 	}
 }
+
+// TestPprofDisabled: without -pprof the profiling endpoints do not
+// exist — they must 404, not 405 or 200.
+func TestPprofDisabled(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/profile", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without -pprof: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestPprofEnabled: with -pprof the index answers.
+func TestPprofEnabled(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{
+		Workers:       1,
+		MaxConcurrent: 1,
+		Timeout:       time.Minute,
+		Pprof:         true,
+	}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ with -pprof: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -44,6 +44,26 @@
 // running the holistic schedulability analysis; the cost function is
 // the paper's Eq. (5) schedulability degree.
 //
+// # Evaluation pipeline
+//
+// Candidate evaluation — the hot path of every optimiser — runs on
+// reusable evaluation sessions (EvalSession) rather than rebuilding the
+// stack per candidate. A session owns a resettable holistic analyzer
+// whose system-dependent state (priority lists, message sets,
+// topological orders) is computed once, whose configuration- and
+// table-derived caches are invalidated only when the inputs they
+// depend on change (DYN interference environments survive any change
+// that keeps the FrameID assignment and minislot length; availability
+// functions are memoised on the schedule table itself), and whose
+// fixpoint scratch buffers are pooled across runs. With first-fit
+// placement the schedule table depends only on the slot geometry, so
+// sessions additionally memoise tables by geometry and FrameID-only
+// moves (the simulated-annealing neighbourhood) skip table
+// construction entirely. Sessions are bit-identical to the
+// from-scratch pipeline — BuildSchedule plus a single-use analyzer —
+// which the test-suite pins by replaying shuffled candidate streams of
+// all four algorithms through one session.
+//
 // # Validation
 //
 // Simulate runs a discrete-event simulation of the configured system —
@@ -58,11 +78,12 @@
 // whole machine. Every optimiser spends its budget on one pure
 // operation — schedule build plus holistic analysis of a candidate
 // configuration — and the engine behind EngineOptions parallelises
-// exactly that: independent sweep candidates fan across a worker
-// pool, results are memoised in a bounded cache keyed on the
-// configuration fingerprint, and a context cancels in-flight work.
-// Because evaluations are pure, results are bit-identical at any
-// worker count.
+// exactly that: independent sweep candidates fan across a worker pool
+// whose workers each pin their own evaluation session, results are
+// memoised in a bounded LRU cache keyed on the configuration
+// fingerprint and sharded into power-of-two lock domains scaled to the
+// worker count, and a context cancels in-flight work. Because
+// evaluations are pure, results are bit-identical at any worker count.
 //
 // Portfolio races BBC, OBC-CF, OBC-EE and SA concurrently on one
 // system over a shared engine (the cheap heuristics warm the cache

@@ -147,6 +147,24 @@ func BuildSchedule(sys *System, cfg *Config, opts SchedOptions) (*ScheduleTable,
 	return sched.Build(sys, cfg, opts)
 }
 
+// EvalSession is a reusable evaluation pipeline for one system: a
+// resettable holistic analyzer plus a geometry-keyed schedule-table
+// memo. Evaluating candidate configurations through one session is
+// bit-identical to BuildSchedule but avoids rebuilding the
+// system-dependent analysis state — and, for candidates sharing a slot
+// geometry, the schedule table — on every call. Sessions are what the
+// optimisers and the campaign engine workers use internally; create
+// one directly when driving many analyses of the same system yourself.
+// Cache invalidation works from value snapshots, so mutating a Config
+// between Eval calls (tweak-and-re-evaluate loops) is fine; a session
+// is not safe for concurrent use.
+type EvalSession = core.Session
+
+// NewEvalSession builds an evaluation session for one system.
+func NewEvalSession(sys *System, opts SchedOptions) *EvalSession {
+	return core.NewSession(sys, opts)
+}
+
 // DefaultSchedOptions returns first-fit placement with default
 // analysis.
 func DefaultSchedOptions() SchedOptions { return sched.DefaultOptions() }

@@ -8,6 +8,8 @@
 package analysis
 
 import (
+	"slices"
+
 	"repro/internal/flexray"
 	"repro/internal/model"
 	"repro/internal/schedule"
@@ -65,38 +67,74 @@ type Result struct {
 	Converged bool
 }
 
-// Analyzer performs holistic analyses of one system under one bus
-// configuration and one static schedule table. It is reused across the
-// optimisation loops, so derived data (availability functions, message
-// sets) is cached per instance.
+// Analyzer performs holistic analyses of one system. An analyzer is a
+// reusable evaluation session: the system-dependent state (FPS priority
+// lists, DYN message sets, topological orders, higher-priority lists)
+// is computed once and survives any number of Reset calls, while the
+// configuration- and table-dependent caches (DYN interference
+// environments, availability functions) are invalidated only when the
+// part of the input they depend on actually changes. Scratch buffers
+// (interference budgets, pick lists) are pooled across runs, so a
+// long-lived analyzer evaluates candidate configurations with almost no
+// allocation beyond the Result it returns.
+//
+// An Analyzer is not safe for concurrent use; give each goroutine its
+// own.
 type Analyzer struct {
 	sys   *model.System
 	cfg   *flexray.Config
 	table *schedule.Table
 	opts  Options
 
-	avail map[model.NodeID]*schedule.Availability
-
 	// hpTask[node] lists FPS tasks per node sorted by descending
 	// priority.
 	fpsByNode map[model.NodeID][]model.ActID
 	dynMsgs   []model.ActID
 
-	// Caches valid for the lifetime of the analyzer (they depend
-	// only on the application and the bus configuration, not on the
-	// table): interference environments of DYN messages and
-	// higher-priority task lists.
+	// envCache holds the interference environments of DYN messages; it
+	// depends on the FrameID assignment and the minislot length of the
+	// bound configuration (the per-cycle need is refreshed on every
+	// query, so NumMinislots changes never invalidate it). hpCache
+	// depends only on the application and is never invalidated.
 	envCache map[model.ActID]*dynEnv
 	hpCache  map[model.ActID][]model.ActID
+	// envPool recycles environments retired by envCache invalidation,
+	// so a FrameID move (the SA neighbourhood) rebuilds them into
+	// existing backing arrays.
+	envPool []*dynEnv
+	// envSig is the signature (minislot length, FrameID assignment)
+	// the cached environments were built under; envSigScratch is the
+	// pooled buffer the candidate signature is computed into. Working
+	// from a value snapshot — not pointer identity — keeps the cache
+	// sound even when a caller mutates a Config in place between
+	// Resets.
+	envSig        []int64
+	envSigScratch []int64
+
+	// topo caches the deterministic topological order of every task
+	// graph (system-dependent; computed on first use).
+	topo     [][]model.ActID
+	topoErr  []error
+	topoDone []bool
 }
 
-// New builds an analyzer. The table may be partially filled: the global
-// scheduling algorithm calls the analysis while it is still inserting
-// SCS activities (Fig. 2 line 11).
+// New builds an analyzer bound to one configuration and table. The
+// table may be partially filled: the global scheduling algorithm calls
+// the analysis while it is still inserting SCS activities (Fig. 2
+// line 11).
 func New(sys *model.System, cfg *flexray.Config, table *schedule.Table, opts Options) *Analyzer {
+	a := NewReusable(sys, opts)
+	a.Reset(cfg, table)
+	return a
+}
+
+// NewReusable builds an unbound analyzer: the system-dependent state is
+// initialised, but Reset must bind a configuration and table before the
+// first Run. Reusing one analyzer across many candidate configurations
+// amortises both this setup and the scratch buffers of the analysis.
+func NewReusable(sys *model.System, opts Options) *Analyzer {
 	a := &Analyzer{
-		sys: sys, cfg: cfg, table: table, opts: opts,
-		avail:     map[model.NodeID]*schedule.Availability{},
+		sys: sys, opts: opts,
 		fpsByNode: map[model.NodeID][]model.ActID{},
 		envCache:  map[model.ActID]*dynEnv{},
 		hpCache:   map[model.ActID][]model.ActID{},
@@ -124,19 +162,72 @@ func New(sys *model.System, cfg *flexray.Config, table *schedule.Table, opts Opt
 	return a
 }
 
-// InvalidateTable drops cached availability functions; the global
-// scheduler calls this after inserting a new SCS activity.
-func (a *Analyzer) InvalidateTable() {
-	a.avail = map[model.NodeID]*schedule.Availability{}
+// Reset rebinds the analyzer to a new configuration and schedule table,
+// keeping every cache that provably stays valid:
+//
+//   - system-derived state (priority lists, topological orders,
+//     higher-priority sets) always survives;
+//   - DYN interference environments survive when the FrameID assignment
+//     and the minislot length are unchanged — so candidates differing
+//     only in NumMinislots (the sweep grids) or in the static segment
+//     reuse them untouched;
+//   - availability functions live on the table itself (schedule.Table
+//     memoises them per node and invalidates on mutation), so they
+//     follow the table through any rebinding.
+//
+// Invalidation compares value snapshots, not pointer identity, so
+// mutating a configuration in place and Resetting it again is safe;
+// only mutating it while a Run is in progress is not.
+func (a *Analyzer) Reset(cfg *flexray.Config, table *schedule.Table) {
+	sig := a.envSignature(cfg, a.envSigScratch[:0])
+	if !slices.Equal(sig, a.envSig) {
+		for _, env := range a.envCache {
+			a.envPool = append(a.envPool, env)
+		}
+		clear(a.envCache)
+	}
+	// Swap the buffers: sig becomes the bound signature, the old one
+	// the next scratch.
+	a.envSig, a.envSigScratch = sig, a.envSig
+	a.cfg = cfg
+	a.table = table
+}
+
+// envSignature appends the inputs the cached DYN interference
+// environments depend on — the minislot length and the FrameID
+// assignment (read in the deterministic dynMsgs order; the entry count
+// catches assignments to anything else) — to buf. The grouping and the
+// extra-minislot sizes depend on nothing further: the per-cycle need is
+// recomputed on every query.
+func (a *Analyzer) envSignature(cfg *flexray.Config, buf []int64) []int64 {
+	buf = append(buf, int64(cfg.MinislotLen), int64(len(cfg.FrameID)))
+	for _, m := range a.dynMsgs {
+		fid, ok := cfg.FrameID[m]
+		if !ok {
+			fid = -1
+		}
+		buf = append(buf, int64(fid))
+	}
+	return buf
+}
+
+// topoOrder returns the cached topological order of graph g.
+func (a *Analyzer) topoOrder(g int) ([]model.ActID, error) {
+	if a.topoDone == nil {
+		n := len(a.sys.App.Graphs)
+		a.topo = make([][]model.ActID, n)
+		a.topoErr = make([]error, n)
+		a.topoDone = make([]bool, n)
+	}
+	if !a.topoDone[g] {
+		a.topo[g], a.topoErr[g] = a.sys.App.TopoOrder(g)
+		a.topoDone[g] = true
+	}
+	return a.topo[g], a.topoErr[g]
 }
 
 func (a *Analyzer) availability(n model.NodeID) *schedule.Availability {
-	av, ok := a.avail[n]
-	if !ok {
-		av = a.table.Availability(n)
-		a.avail[n] = av
-	}
-	return av
+	return a.table.Availability(n)
 }
 
 // HigherPriorityFPS returns the FPS tasks on the same node with higher
@@ -199,7 +290,7 @@ func (a *Analyzer) Run() *Result {
 	for iter := 0; ; iter++ {
 		changed := false
 		for g := range app.Graphs {
-			order, err := app.TopoOrder(g)
+			order, err := a.topoOrder(g)
 			if err != nil {
 				// Validation rejects cyclic graphs; treat as
 				// unschedulable rather than panicking.
@@ -259,14 +350,16 @@ func (a *Analyzer) tableResponse(act *model.Activity) units.Duration {
 	period := a.sys.App.Period(act.ID)
 	var worst units.Duration
 	if act.IsTask() {
-		for _, e := range a.table.TaskEntries(act.ID) {
+		for _, i := range a.table.TaskEntryIndices(act.ID) {
+			e := &a.table.Tasks[i]
 			release := units.Time(int64(period) * int64(e.Instance))
 			if d := units.Duration(e.End - release); d > worst {
 				worst = d
 			}
 		}
 	} else {
-		for _, e := range a.table.MsgEntries(act.ID) {
+		for _, i := range a.table.MsgEntryIndices(act.ID) {
+			e := &a.table.Msgs[i]
 			release := units.Time(int64(period) * int64(e.Instance))
 			if d := units.Duration(e.Delivery - release); d > worst {
 				worst = d

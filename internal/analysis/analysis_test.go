@@ -93,7 +93,7 @@ func TestDynEnvSets(t *testing.T) {
 	sys, cfg := fig4System(t)
 	a := newAnalyzer(t, sys, cfg)
 	m2 := sys.App.Act(actID(t, sys, "m2"))
-	env := a.dynEnv(m2, 2, a.fillNeed(m2))
+	env := a.dynEnv(m2, 2)
 	if len(env.hp) != 0 {
 		t.Errorf("hp(m2) = %v, want empty (unique FrameIDs)", env.hp)
 	}
@@ -114,7 +114,7 @@ func TestDynEnvSharedFrameID(t *testing.T) {
 	cfg.FrameID[actID(t, sys, "m3")] = 1
 	a := newAnalyzer(t, sys, cfg)
 	m3 := sys.App.Act(actID(t, sys, "m3"))
-	env := a.dynEnv(m3, 1, a.fillNeed(m3))
+	env := a.dynEnv(m3, 1)
 	if len(env.hp) != 1 || env.hp[0] != actID(t, sys, "m1") {
 		t.Errorf("hp(m3) = %v, want [m1]", env.hp)
 	}
@@ -215,7 +215,7 @@ func TestGreedyFillNeverExceedsExact(t *testing.T) {
 			nItems := 1 + rng.Intn(3)
 			var items []lfItem
 			for i := 0; i < nItems; i++ {
-				items = append(items, lfItem{model.ActID(g*10 + i), 1 + rng.Intn(6)})
+				items = append(items, lfItem{id: model.ActID(g*10 + i), extra: 1 + rng.Intn(6)})
 			}
 			// Groups are kept sorted by extra descending, as
 			// dynEnv builds them.
@@ -253,8 +253,8 @@ func TestExactFillHandComputed(t *testing.T) {
 	env := &dynEnv{
 		need: 5,
 		lfGroups: [][]lfItem{
-			{{1, 3}},
-			{{2, 2}},
+			{{id: 1, extra: 3}},
+			{{id: 2, extra: 2}},
 		},
 	}
 	budgets := [][]int64{{2}, {1}}
@@ -277,8 +277,8 @@ func TestLeftoverExtrasStaysBelowNeed(t *testing.T) {
 	env := &dynEnv{
 		need: 4,
 		lfGroups: [][]lfItem{
-			{{1, 3}},
-			{{2, 2}},
+			{{id: 1, extra: 3}},
+			{{id: 2, extra: 2}},
 		},
 	}
 	budgets := [][]int64{{1}, {1}}
@@ -440,5 +440,66 @@ func TestNonConvergentSystemReportedUnschedulable(t *testing.T) {
 	}
 	if res.Cost <= 0 {
 		t.Errorf("cost = %v, want positive", res.Cost)
+	}
+}
+
+// TestResetMatchesFresh drives one reusable analyzer through an
+// adversarial sequence of (config, table) rebinds — NumMinislots
+// sweeps, FrameID permutations, policy flips, tables with and without
+// SCS load — and checks every Run against a single-use analyzer built
+// fresh for the same inputs. This pins the Reset invalidation rules:
+// any cache kept too long would show up as a diverging response time.
+func TestResetMatchesFresh(t *testing.T) {
+	sys, base := fig4System(t)
+	m1, m2, m3 := actID(t, sys, "m1"), actID(t, sys, "m2"), actID(t, sys, "m3")
+
+	emptyTable := schedule.New(base, sys.App.HyperPeriod())
+	loaded := schedule.New(base, sys.App.HyperPeriod())
+	if err := loaded.PlaceTask(actID(t, sys, "t1"), 0, 0, 0, 30*us); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.PlaceTask(actID(t, sys, "t2"), 0, 1, units.Time(10*us), 25*us); err != nil {
+		t.Fatal(err)
+	}
+
+	var variants []*flexray.Config
+	for _, n := range []int{12, 16, 20, 31, 40} { // DYN sweep: env caches must survive
+		c := base.Clone()
+		c.NumMinislots = n
+		variants = append(variants, c)
+	}
+	perm := base.Clone() // FrameID move: env caches must be dropped
+	perm.FrameID[m1], perm.FrameID[m3] = 3, 1
+	variants = append(variants, perm)
+	shared := base.Clone() // shared FrameID: hp(m) interference appears
+	shared.FrameID[m3] = 1
+	variants = append(variants, shared)
+	perNode := base.Clone() // policy flip changes the fill need only
+	perNode.Policy = flexray.LatestTxPerNode
+	variants = append(variants, perNode)
+	finer := base.Clone() // minislot granularity change invalidates sizes
+	finer.MinislotLen = 500 * units.Nanosecond
+	finer.NumMinislots = 24
+	variants = append(variants, finer)
+
+	reusable := NewReusable(sys, DefaultOptions())
+	rng := rand.New(rand.NewSource(7))
+	tables := []*schedule.Table{emptyTable, loaded}
+	for i := 0; i < 120; i++ {
+		cfg := variants[rng.Intn(len(variants))]
+		table := tables[rng.Intn(len(tables))]
+		reusable.Reset(cfg, table)
+		got := reusable.Run()
+		want := New(sys, cfg, table, DefaultOptions()).Run()
+		for _, m := range []model.ActID{m1, m2, m3} {
+			if got.R[m] != want.R[m] || got.J[m] != want.J[m] {
+				t.Fatalf("step %d: R/J(%d) = %v/%v after Reset, want %v/%v",
+					i, m, got.R[m], got.J[m], want.R[m], want.J[m])
+			}
+		}
+		if got.Cost != want.Cost || got.Schedulable != want.Schedulable {
+			t.Fatalf("step %d: cost/schedulable = %v/%v, want %v/%v",
+				i, got.Cost, got.Schedulable, want.Cost, want.Schedulable)
+		}
 	}
 }

@@ -36,9 +36,13 @@ func (a *Analyzer) dynResponse(act *model.Activity, jitter units.Duration, res *
 
 	env, ok := a.envCache[act.ID]
 	if !ok {
-		env = a.dynEnv(act, fid, need)
+		env = a.dynEnv(act, fid)
 		a.envCache[act.ID] = env
 	}
+	// The need depends on NumMinislots (and, per-node, on pLatestTx),
+	// which change between Reset-bound configurations while the cached
+	// environment stays valid; refresh it on every query.
+	env.need = need
 	bound := a.cap(act.ID)
 	cycle := a.cfg.Cycle()
 	msLen := a.cfg.MinislotLen
@@ -92,27 +96,68 @@ func (a *Analyzer) fillNeed(act *model.Activity) int {
 // minislot per cycle whether used or not, which is why only the
 // *extra* minislots of actual transmissions matter for filling.
 type dynEnv struct {
-	act  *model.Activity
 	need int
 	hp   []model.ActID
-	// lf items grouped by FrameID: per cycle at most one message per
-	// FrameID can transmit, so at most one item per group counts
-	// towards a given cycle.
+	// lfFlat holds every lf item sorted by (FrameID asc, extra desc,
+	// id asc); lfGroups are contiguous subslices of it, one per
+	// FrameID. The flat layout lets a recycled environment rebuild
+	// its groups without allocating.
+	lfFlat   []lfItem
 	lfGroups [][]lfItem
-	// cands is a scratch buffer reused by pickCycle (one slot per
-	// group).
-	cands []pick
+	// cands and picks are scratch buffers reused by pickCycle (one
+	// slot per group); budgets is the instance-count matrix refilled
+	// by every fillCycles call, its rows carved out of budgetBuf and
+	// shaped like lfGroups. All of these exist so the Eq. (3)
+	// fixpoint iterates without allocating.
+	cands     []pick
+	picks     []pick
+	budgets   [][]int64
+	budgetBuf []int64
+	// sorter wraps cands for sort.Sort: a pooled sort.Interface
+	// avoids the per-call closure and reflect.Swapper allocations of
+	// sort.Slice while producing the identical permutation (both run
+	// the same pdqsort).
+	sorter pickSorter
+	// lfSorter likewise wraps lfFlat for the construction-time sort.
+	lfSorter lfItemSorter
 }
 
+// pickSorter sorts picks by descending extra, exactly like the
+// sort.Slice call it replaces.
+type pickSorter struct{ s []pick }
+
+func (p *pickSorter) Len() int           { return len(p.s) }
+func (p *pickSorter) Less(i, j int) bool { return p.s[i].extra > p.s[j].extra }
+func (p *pickSorter) Swap(i, j int)      { p.s[i], p.s[j] = p.s[j], p.s[i] }
+
 type lfItem struct {
+	fid   int // FrameID of the interfering message
 	id    model.ActID
 	extra int // SizeInMinislots - 1
 }
 
-func (a *Analyzer) dynEnv(act *model.Activity, fid, need int) *dynEnv {
+// lfItemSorter orders lf items by (FrameID asc, extra desc, id asc) — a
+// total order, so the result is the FrameID-ascending group sequence
+// with each group internally sorted exactly as before.
+type lfItemSorter struct{ s []lfItem }
+
+func (p *lfItemSorter) Len() int { return len(p.s) }
+func (p *lfItemSorter) Less(i, j int) bool {
+	a, b := &p.s[i], &p.s[j]
+	if a.fid != b.fid {
+		return a.fid < b.fid
+	}
+	if a.extra != b.extra {
+		return a.extra > b.extra
+	}
+	return a.id < b.id
+}
+func (p *lfItemSorter) Swap(i, j int) { p.s[i], p.s[j] = p.s[j], p.s[i] }
+
+func (a *Analyzer) dynEnv(act *model.Activity, fid int) *dynEnv {
 	app := &a.sys.App
-	env := &dynEnv{act: act, need: need}
-	groups := map[int][]lfItem{}
+	env := a.newEnv()
+	flat := env.lfFlat[:0]
 	for _, m := range a.dynMsgs {
 		if m == act.ID {
 			continue
@@ -129,25 +174,48 @@ func (a *Analyzer) dynEnv(act *model.Activity, fid, need int) *dynEnv {
 			}
 		case ofid < fid:
 			if e := a.cfg.SizeInMinislots(other.C) - 1; e > 0 {
-				groups[ofid] = append(groups[ofid], lfItem{m, e})
+				flat = append(flat, lfItem{fid: ofid, id: m, extra: e})
 			}
 		}
 	}
-	fids := make([]int, 0, len(groups))
-	for f := range groups {
-		fids = append(fids, f)
+	env.lfSorter.s = flat
+	sort.Sort(&env.lfSorter)
+	env.lfFlat = flat
+
+	// Split the flat run into per-FrameID groups and carve the budget
+	// rows out of one backing array, both without allocating when the
+	// environment is recycled.
+	if cap(env.budgetBuf) < len(flat) {
+		env.budgetBuf = make([]int64, len(flat))
 	}
-	sort.Ints(fids)
-	for _, f := range fids {
-		g := groups[f]
-		sort.Slice(g, func(i, j int) bool {
-			if g[i].extra != g[j].extra {
-				return g[i].extra > g[j].extra
-			}
-			return g[i].id < g[j].id
-		})
-		env.lfGroups = append(env.lfGroups, g)
+	buf := env.budgetBuf[:len(flat)]
+	for i := 0; i < len(flat); {
+		j := i
+		for j < len(flat) && flat[j].fid == flat[i].fid {
+			j++
+		}
+		env.lfGroups = append(env.lfGroups, flat[i:j])
+		env.budgets = append(env.budgets, buf[i:j])
+		i = j
 	}
+	return env
+}
+
+// newEnv returns a recycled interference environment (from envs retired
+// by a Reset that changed the FrameID assignment) or a fresh one. All
+// slice fields of a recycled env are length-reset with their backing
+// arrays kept.
+func (a *Analyzer) newEnv() *dynEnv {
+	n := len(a.envPool)
+	if n == 0 {
+		return &dynEnv{}
+	}
+	env := a.envPool[n-1]
+	a.envPool = a.envPool[:n-1]
+	env.hp = env.hp[:0]
+	env.lfFlat = env.lfFlat[:0]
+	env.lfGroups = env.lfGroups[:0]
+	env.budgets = env.budgets[:0]
 	return env
 }
 
@@ -183,10 +251,11 @@ func (a *Analyzer) fillCycles(env *dynEnv, t units.Duration, res *Result) (fille
 		hpFill += a.instances(m, t, res)
 	}
 
-	// Budgets for lf items within the window.
-	budgets := make([][]int64, len(env.lfGroups))
+	// Budgets for lf items within the window; the matrix is pooled in
+	// the environment and refilled in place (greedyFill and
+	// leftoverExtras consume it destructively, exactly as before).
+	budgets := env.budgets
 	for gi, g := range env.lfGroups {
-		budgets[gi] = make([]int64, len(g))
 		for ii, it := range g {
 			budgets[gi][ii] = a.instances(it.id, t, res)
 		}
@@ -249,9 +318,10 @@ func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
 		}
 	}
 	env.cands = cands
-	sort.Slice(cands, func(i, j int) bool { return cands[i].extra > cands[j].extra })
+	env.sorter.s = cands
+	sort.Sort(&env.sorter)
 
-	var picks []pick
+	picks := env.picks[:0]
 	total := 0
 	for _, c := range cands {
 		if total >= env.need {
@@ -260,6 +330,7 @@ func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
 		picks = append(picks, c)
 		total += c.extra
 	}
+	env.picks = picks
 	if total < env.need {
 		return nil, total
 	}

@@ -75,9 +75,10 @@ func (a *Analyzer) ExplainDYN(m model.ActID, res *Result) (DYNDelay, bool) {
 	}
 	env, cached := a.envCache[m]
 	if !cached {
-		env = a.dynEnv(act, fid, need)
+		env = a.dynEnv(act, fid)
 		a.envCache[m] = env
 	}
+	env.need = need
 	cycle := a.cfg.Cycle()
 	msLen := a.cfg.MinislotLen
 	sigma := cycle - a.cfg.STBus() - units.Duration(fid-1)*msLen

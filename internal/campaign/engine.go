@@ -4,11 +4,14 @@
 //   - Engine, a worker-pool evaluation service that plugs into the
 //     optimisers through core.EvalHook: independent candidate
 //     configurations (the BBC/OBC-EE sweep grids) are evaluated
-//     concurrently, results are memoised in a bounded LRU cache keyed
-//     on the configuration fingerprint, and a context cancels
-//     in-flight work. Because evaluations are pure, any worker count
-//     produces bit-identical optimiser results — workers=1 reproduces
-//     the serial behaviour exactly;
+//     concurrently, results are memoised in a sharded, bounded LRU
+//     cache keyed on the configuration fingerprint, and a context
+//     cancels in-flight work. Each worker owns a pinned evaluation
+//     session (core.Session), so the reusable-analyzer and
+//     schedule-table reuse of the serial path carries over to every
+//     worker. Because evaluations are pure, any worker count produces
+//     bit-identical optimiser results — workers=1 reproduces the
+//     serial behaviour exactly;
 //   - Portfolio, which races BBC, OBC-CF, OBC-EE and SA concurrently
 //     on one system over a shared engine (the cheap heuristics warm
 //     the cache for the expensive ones) and reports the best result
@@ -21,6 +24,7 @@ package campaign
 import (
 	"container/list"
 	"context"
+	"encoding/binary"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +44,20 @@ const infeasibleCost = 1e15
 // DefaultCacheSize bounds the evaluation cache of an engine when
 // EngineOptions.CacheSize is zero.
 const DefaultCacheSize = 4096
+
+// maxCacheShards caps the sharding of the evaluation cache; beyond 64
+// ways the mutexes stop being the bottleneck long before the shards do.
+const maxCacheShards = 64
+
+// minShardCapacity is the fewest entries one cache shard may hold:
+// small configured caches stay coarsely sharded rather than degrading
+// into per-shard LRUs too tiny to keep a working set.
+const minShardCapacity = 8
+
+// workerSessionCap bounds the pinned sessions one worker keeps; engines
+// usually serve a single system, so this only guards pathological
+// multi-system reuse of one engine.
+const workerSessionCap = 8
 
 // EngineOptions tune one evaluation engine.
 type EngineOptions struct {
@@ -83,17 +101,55 @@ type cacheEntry struct {
 	done chan struct{}
 }
 
-// Engine is a concurrent, caching evaluation service for candidate bus
-// configurations. It implements core.EvalHook; install it with Hook.
-// An Engine is safe for use by any number of goroutines.
-type Engine struct {
-	ctx   context.Context
-	slots chan struct{} // worker-pool semaphore
-
+// cacheShard is one lock domain of the sharded evaluation cache.
+type cacheShard struct {
 	mu       sync.Mutex
 	entries  map[cacheKey]*list.Element
 	lru      list.List // of *cacheEntry, most recent first
 	capacity int
+}
+
+// sessionKey identifies one pinned evaluation session: sessions are
+// per-system and per-scheduler-options.
+type sessionKey struct {
+	sys  *model.System
+	opts sched.Options
+}
+
+// engineWorker is the state pinned to one worker slot: its evaluation
+// sessions, keyed by system. Only one goroutine holds a worker at a
+// time, so no locking is needed inside.
+type engineWorker struct {
+	sessions map[sessionKey]*core.Session
+}
+
+// session returns the worker's pinned session for (sys, opts),
+// creating it on first use.
+func (w *engineWorker) session(sys *model.System, opts sched.Options) *core.Session {
+	key := sessionKey{sys: sys, opts: opts}
+	if s, ok := w.sessions[key]; ok {
+		return s
+	}
+	if len(w.sessions) >= workerSessionCap {
+		clear(w.sessions)
+	}
+	s := core.NewSession(sys, opts)
+	w.sessions[key] = s
+	return s
+}
+
+// Engine is a concurrent, caching evaluation service for candidate bus
+// configurations. It implements core.EvalHook; install it with Hook.
+// An Engine is safe for use by any number of goroutines.
+type Engine struct {
+	ctx context.Context
+	// workers is the pool of pinned worker states; receiving one
+	// grants a worker slot, returning it frees the slot.
+	workers chan *engineWorker
+
+	shards    []cacheShard
+	shardMask uint64
+	caching   bool
 
 	evals  atomic.Int64
 	hits   atomic.Int64
@@ -118,12 +174,36 @@ func NewEngine(ctx context.Context, opts EngineOptions) *Engine {
 	if capacity == 0 {
 		capacity = DefaultCacheSize
 	}
-	return &Engine{
-		ctx:      ctx,
-		slots:    make(chan struct{}, w),
-		entries:  map[cacheKey]*list.Element{},
-		capacity: capacity,
+	e := &Engine{
+		ctx:     ctx,
+		workers: make(chan *engineWorker, w),
+		caching: capacity > 0,
 	}
+	for i := 0; i < w; i++ {
+		e.workers <- &engineWorker{sessions: map[sessionKey]*core.Session{}}
+	}
+	if e.caching {
+		// Power-of-two shard count scaled to the worker pool, so the
+		// per-shard mutexes stay uncontended at high worker counts —
+		// but never sharded so finely that a shard holds fewer than
+		// minShardCapacity entries, which would evict hot entries a
+		// single LRU of the same total capacity would retain.
+		n := 1
+		for n < w && n < maxCacheShards {
+			n <<= 1
+		}
+		for n > 1 && capacity/n < minShardCapacity {
+			n >>= 1
+		}
+		perShard := (capacity + n - 1) / n
+		e.shards = make([]cacheShard, n)
+		e.shardMask = uint64(n - 1)
+		for i := range e.shards {
+			e.shards[i].entries = map[cacheKey]*list.Element{}
+			e.shards[i].capacity = perShard
+		}
+	}
+	return e
 }
 
 // Hook returns a copy of opts with the engine installed as the
@@ -142,34 +222,46 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// CacheShards reports how many lock domains the evaluation cache is
+// split into (0 when caching is disabled).
+func (e *Engine) CacheShards() int { return len(e.shards) }
+
 // Cancelled reports whether the engine's context has been cancelled
 // (results produced afterwards are garbage by design).
 func (e *Engine) Cancelled() bool { return e.ctx.Err() != nil }
 
-// Eval evaluates one candidate configuration: cache lookup, then one
-// schedule build plus holistic analysis on a worker slot.
+// shard picks the lock domain of a key from the low fingerprint bits
+// (FNV output: uniformly distributed).
+func (e *Engine) shard(key *cacheKey) *cacheShard {
+	return &e.shards[binary.LittleEndian.Uint64(key.fp[:8])&e.shardMask]
+}
+
+// Eval evaluates one candidate configuration: sharded cache lookup,
+// then one schedule build plus holistic analysis on a pinned worker
+// session.
 func (e *Engine) Eval(sys *model.System, cfg *flexray.Config, opts sched.Options) (*analysis.Result, float64) {
-	if e.capacity < 0 {
+	if !e.caching {
 		return e.run(sys, cfg, opts)
 	}
 	key := cacheKey{sys: sys, fp: cfg.Fingerprint(), opts: opts}
-	e.mu.Lock()
-	if el, ok := e.entries[key]; ok {
+	sh := e.shard(&key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		e.lru.MoveToFront(el)
-		e.mu.Unlock()
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
 		e.hits.Add(1)
 		<-ent.done
 		return ent.res, ent.cost
 	}
 	ent := &cacheEntry{key: key, done: make(chan struct{})}
-	e.entries[key] = e.lru.PushFront(ent)
-	for e.lru.Len() > e.capacity {
-		oldest := e.lru.Back()
-		e.lru.Remove(oldest)
-		delete(e.entries, oldest.Value.(*cacheEntry).key)
+	sh.entries[key] = sh.lru.PushFront(ent)
+	for sh.lru.Len() > sh.capacity {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*cacheEntry).key)
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	e.misses.Add(1)
 	// A cancelled evaluation caches an infeasible marker; that is
 	// sound because the engine's lifetime is bound to its context —
@@ -184,7 +276,7 @@ func (e *Engine) Eval(sys *model.System, cfg *flexray.Config, opts sched.Options
 func (e *Engine) EvalBatch(sys *model.System, cfgs []*flexray.Config, opts sched.Options) ([]*analysis.Result, []float64) {
 	ress := make([]*analysis.Result, len(cfgs))
 	costs := make([]float64, len(cfgs))
-	if cap(e.slots) == 1 || len(cfgs) == 1 {
+	if cap(e.workers) == 1 || len(cfgs) == 1 {
 		// A single worker slot serialises the batch anyway; skip the
 		// goroutine fan-out.
 		for i, cfg := range cfgs {
@@ -204,11 +296,12 @@ func (e *Engine) EvalBatch(sys *model.System, cfgs []*flexray.Config, opts sched
 	return ress, costs
 }
 
-// run performs the real work on a worker slot.
+// run performs the real work on a pinned worker session.
 func (e *Engine) run(sys *model.System, cfg *flexray.Config, opts sched.Options) (*analysis.Result, float64) {
+	var wk *engineWorker
 	select {
-	case e.slots <- struct{}{}:
-		defer func() { <-e.slots }()
+	case wk = <-e.workers:
+		defer func() { e.workers <- wk }()
 	case <-e.ctx.Done():
 		return nil, infeasibleCost
 	}
@@ -216,9 +309,5 @@ func (e *Engine) run(sys *model.System, cfg *flexray.Config, opts sched.Options)
 		return nil, infeasibleCost
 	}
 	e.evals.Add(1)
-	_, res, err := sched.Build(sys, cfg, opts)
-	if err != nil {
-		return nil, infeasibleCost
-	}
-	return res, res.Cost
+	return wk.session(sys, opts).Eval(cfg)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/flexray"
 	"repro/internal/model"
 	"repro/internal/synth"
 )
@@ -111,14 +112,18 @@ func TestEngineCacheBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(context.Background(), EngineOptions{Workers: 1, CacheSize: 4})
+	if got := eng.CacheShards(); got != 1 {
+		t.Fatalf("1-worker engine uses %d shards, want 1", got)
+	}
 	for i := 0; i < 16; i++ {
 		cfg := bbc.Config.Clone()
 		cfg.NumMinislots += i
 		eng.Eval(sys, cfg, opts.Sched)
 	}
-	eng.mu.Lock()
-	n, m := eng.lru.Len(), len(eng.entries)
-	eng.mu.Unlock()
+	sh := &eng.shards[0]
+	sh.mu.Lock()
+	n, m := sh.lru.Len(), len(sh.entries)
+	sh.mu.Unlock()
 	if n > 4 || m > 4 {
 		t.Errorf("cache grew to %d list / %d map entries, cap 4", n, m)
 	}
@@ -211,5 +216,49 @@ func TestPortfolioUnknownAlgorithm(t *testing.T) {
 	sys := testSystem(t, 2, 3)
 	if _, err := Portfolio(context.Background(), sys, quickOpts(), EngineOptions{}, "genetic"); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestEngineShardedCache: a multi-worker engine splits its cache into a
+// power-of-two number of shards, and memoisation still works across
+// them — every distinct configuration is evaluated exactly once no
+// matter which shard its fingerprint lands in.
+func TestEngineShardedCache(t *testing.T) {
+	sys := testSystem(t, 2, 3)
+	opts := quickOpts()
+	bbc, err := core.BBC(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(context.Background(), EngineOptions{Workers: 8})
+	shards := eng.CacheShards()
+	if shards < 2 {
+		t.Fatalf("8-worker engine uses %d shards, want >= 2", shards)
+	}
+	if shards&(shards-1) != 0 {
+		t.Fatalf("shard count %d is not a power of two", shards)
+	}
+
+	const distinct = 32
+	cfgs := make([]*flexray.Config, 0, 2*distinct)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < distinct; i++ {
+			cfg := bbc.Config.Clone()
+			cfg.NumMinislots += i
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	ress, costs := eng.EvalBatch(sys, cfgs, opts.Sched)
+	for i := 0; i < distinct; i++ {
+		if ress[i] != ress[i+distinct] || costs[i] != costs[i+distinct] {
+			t.Errorf("config %d: second round not answered from cache", i)
+		}
+	}
+	st := eng.Stats()
+	if st.Evaluations != distinct {
+		t.Errorf("evaluations = %d, want %d (one per distinct config)", st.Evaluations, distinct)
+	}
+	if st.CacheHits != distinct || st.CacheMisses != distinct {
+		t.Errorf("hits/misses = %d/%d, want %d/%d", st.CacheHits, st.CacheMisses, distinct, distinct)
 	}
 }

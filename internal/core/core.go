@@ -183,11 +183,23 @@ type Result struct {
 const infeasibleCost = 1e15
 
 // evaluator runs the global scheduling algorithm plus holistic analysis
-// for candidate configurations and counts the evaluations.
+// for candidate configurations and counts the evaluations. The built-in
+// path owns one evaluation Session, created lazily, so every candidate
+// of one optimiser invocation reuses the same analyzer state and
+// schedule-table memo.
 type evaluator struct {
 	sys   *model.System
 	opts  Options
 	evals int
+	sess  *Session
+}
+
+// session returns the evaluator's built-in evaluation session.
+func (e *evaluator) session() *Session {
+	if e.sess == nil {
+		e.sess = NewSession(e.sys, e.opts.Sched)
+	}
+	return e.sess
 }
 
 func (e *evaluator) eval(cfg *flexray.Config) (*analysis.Result, float64) {
@@ -195,17 +207,7 @@ func (e *evaluator) eval(cfg *flexray.Config) (*analysis.Result, float64) {
 	if e.opts.Eval != nil {
 		return e.opts.Eval.Eval(e.sys, cfg, e.opts.Sched)
 	}
-	return evalSerial(e.sys, cfg, e.opts.Sched)
-}
-
-// evalSerial is the built-in evaluation: one schedule build plus one
-// holistic analysis.
-func evalSerial(sys *model.System, cfg *flexray.Config, opts sched.Options) (*analysis.Result, float64) {
-	_, res, err := sched.Build(sys, cfg, opts)
-	if err != nil {
-		return nil, infeasibleCost
-	}
-	return res, res.Cost
+	return e.session().Eval(cfg)
 }
 
 // evalBatch evaluates a slice of independent candidates and returns the
@@ -231,8 +233,9 @@ func (e *evaluator) evalBatch(cfgs []*flexray.Config) ([]*analysis.Result, []flo
 	}
 	ress := make([]*analysis.Result, n)
 	costs := make([]float64, n)
+	sess := e.session()
 	for i, cfg := range cfgs {
-		ress[i], costs[i] = evalSerial(e.sys, cfg, e.opts.Sched)
+		ress[i], costs[i] = sess.Eval(cfg)
 	}
 	return ress, costs, n
 }

@@ -53,6 +53,26 @@ type instKey struct {
 // error; an unschedulable-but-constructible system is NOT an error —
 // the cost function of the returned result captures it.
 func Build(sys *model.System, cfg *flexray.Config, opts Options) (*schedule.Table, *analysis.Result, error) {
+	table, err := BuildTable(sys, cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := analysis.New(sys, cfg, table, opts.Analysis).Run()
+	return table, res, nil
+}
+
+// BuildTable runs the table-construction part of the global scheduling
+// algorithm without the final holistic analysis. Callers that hold a
+// reusable analysis session (core.Session, the campaign engine workers)
+// use it to bind their own analyzer to the finished table; Build is
+// BuildTable plus one fresh analysis.
+//
+// With PlacementCandidates <= 1 (plain first-fit) the resulting table
+// depends only on the slot geometry — static slot length, count,
+// owners, and the dynamic segment length — never on the FrameID
+// assignment, which is what makes schedule-table reuse across FrameID
+// moves sound.
+func BuildTable(sys *model.System, cfg *flexray.Config, opts Options) (*schedule.Table, error) {
 	app := &sys.App
 	horizon := app.HyperPeriod()
 	table := schedule.New(cfg, horizon)
@@ -73,7 +93,7 @@ func Build(sys *model.System, cfg *flexray.Config, opts Options) (*schedule.Tabl
 		tg := &app.Graphs[g]
 		rp, err := app.RemainingPath(g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		n := int64(horizon / tg.Period)
 		if n == 0 {
@@ -129,6 +149,15 @@ func Build(sys *model.System, cfg *flexray.Config, opts Options) (*schedule.Tabl
 		}
 	}
 
+	// One resettable analyzer serves every placement-candidate trial:
+	// the configuration stays fixed across trials, so its DYN
+	// interference environments are built once for the whole schedule
+	// construction.
+	var trialAn *analysis.Analyzer
+	if opts.PlacementCandidates > 1 {
+		trialAn = analysis.NewReusable(sys, opts.Analysis)
+	}
+
 	for len(ready) > 0 {
 		// Select the ready activity with the greatest remaining
 		// critical path (Fig. 2 line 2); earliest ASAP breaks ties,
@@ -151,29 +180,29 @@ func Build(sys *model.System, cfg *flexray.Config, opts Options) (*schedule.Tabl
 		a := app.Act(nd.key.act)
 
 		if a.IsTask() {
-			start, err := placeTask(sys, cfg, table, nd.key, a, nd.asap, opts)
+			start, err := placeTask(cfg, table, trialAn, nd.key, a, nd.asap, opts)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			finish(nd, start.Add(a.C))
 		} else {
 			e, err := table.PlaceMessage(app, nd.key.act, nd.key.inst, nd.asap)
 			if err != nil {
-				return nil, nil, fmt.Errorf("sched: %w", err)
+				return nil, fmt.Errorf("sched: %w", err)
 			}
 			finish(nd, e.Delivery)
 		}
 	}
-
-	res := analysis.New(sys, cfg, table, opts.Analysis).Run()
-	return table, res, nil
+	return table, nil
 }
 
 // placeTask implements schedule_TT_task: it finds candidate start
 // times at or after the task's ASAP and keeps the one the holistic
 // analysis likes best (or plain first-fit when only one candidate is
-// requested).
-func placeTask(sys *model.System, cfg *flexray.Config, table *schedule.Table,
+// requested). Candidate trials rebind the shared analyzer to each
+// trial table; the configuration-derived analysis caches survive every
+// rebind because cfg never changes within one build.
+func placeTask(cfg *flexray.Config, table *schedule.Table, trialAn *analysis.Analyzer,
 	key instKey, a *model.Activity, asap units.Time, opts Options) (units.Time, error) {
 
 	k := opts.PlacementCandidates
@@ -193,7 +222,8 @@ func placeTask(sys *model.System, cfg *flexray.Config, table *schedule.Table,
 		if err := trial.PlaceTask(key.act, key.inst, a.Node, start, a.C); err != nil {
 			continue
 		}
-		res := analysis.New(sys, cfg, trial, opts.Analysis).Run()
+		trialAn.Reset(cfg, trial)
+		res := trialAn.Run()
 		if i == 0 || res.Cost < bestCost {
 			bestIdx, bestCost = i, res.Cost
 		}

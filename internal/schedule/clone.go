@@ -18,6 +18,10 @@ func (t *Table) Clone() *Table {
 		slotUsed: make(map[slotKey]units.Duration, len(t.slotUsed)),
 		taskAt:   make(map[model.ActID][]int, len(t.taskAt)),
 		msgAt:    make(map[model.ActID][]int, len(t.msgAt)),
+		// The availability memo is intentionally NOT shared: the
+		// clone exists to be mutated, and clone-side invalidation
+		// must never poison (or race with) the original's memo.
+		avail: map[model.NodeID]*Availability{},
 	}
 	for k, v := range t.nodeBusy {
 		c.nodeBusy[k] = append([]Interval(nil), v...)

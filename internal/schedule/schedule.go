@@ -68,6 +68,12 @@ type Table struct {
 	slotUsed map[slotKey]units.Duration  // packed payload per slot instance
 	taskAt   map[model.ActID][]int       // act -> indices into Tasks
 	msgAt    map[model.ActID][]int       // act -> indices into Msgs
+
+	// avail memoises the per-node supply functions; PlaceTask
+	// invalidates the touched node. The memo makes Availability — and
+	// with it a Table — unsafe for concurrent use; the evaluation
+	// sessions pin each table to one goroutine.
+	avail map[model.NodeID]*Availability
 }
 
 // New returns an empty table for the given bus configuration and
@@ -80,6 +86,7 @@ func New(cfg *flexray.Config, horizon units.Duration) *Table {
 		slotUsed: map[slotKey]units.Duration{},
 		taskAt:   map[model.ActID][]int{},
 		msgAt:    map[model.ActID][]int{},
+		avail:    map[model.NodeID]*Availability{},
 	}
 }
 
@@ -97,6 +104,7 @@ func (t *Table) PlaceTask(act model.ActID, instance int, node model.NodeID, star
 	t.nodeBusy[node] = append(busy[:i:i], append([]Interval{iv}, busy[i:]...)...)
 	t.Tasks = append(t.Tasks, TaskEntry{act, instance, node, iv.Start, iv.End})
 	t.taskAt[act] = append(t.taskAt[act], len(t.Tasks)-1)
+	delete(t.avail, node) // the node's supply function changed
 	return nil
 }
 
@@ -216,6 +224,15 @@ func (t *Table) MsgEntries(a model.ActID) []MsgEntry {
 	return out
 }
 
+// TaskEntryIndices returns the indices into Tasks of one SCS task's
+// instances, avoiding the entry copies of TaskEntries. The returned
+// slice is shared and must not be modified.
+func (t *Table) TaskEntryIndices(a model.ActID) []int { return t.taskAt[a] }
+
+// MsgEntryIndices returns the indices into Msgs of one ST message's
+// instances. The returned slice is shared and must not be modified.
+func (t *Table) MsgEntryIndices(a model.ActID) []int { return t.msgAt[a] }
+
 // Busy returns the node's busy intervals (sorted, non-overlapping).
 // The returned slice must not be modified.
 func (t *Table) Busy(node model.NodeID) []Interval { return t.nodeBusy[node] }
@@ -280,10 +297,26 @@ type Availability struct {
 	// busyPrefix[i] = total busy time in [0, busy[i].End)
 	busyPrefix []units.Duration
 	totalBusy  units.Duration
+	// boundaries are the candidate critical-instant offsets, computed
+	// once: the response-time analysis queries them for every FPS task
+	// on every fixpoint iteration.
+	boundaries []units.Time
 }
 
-// Availability builds the supply function for one node.
+// Availability returns the supply function for one node, memoised on
+// the table (PlaceTask invalidates the touched node). The memo makes
+// this method unsafe for concurrent use.
 func (t *Table) Availability(node model.NodeID) *Availability {
+	if av, ok := t.avail[node]; ok {
+		return av
+	}
+	av := t.buildAvailability(node)
+	t.avail[node] = av
+	return av
+}
+
+// buildAvailability computes the supply function of one node.
+func (t *Table) buildAvailability(node model.NodeID) *Availability {
 	av := &Availability{horizon: t.Horizon, busy: t.foldedBusy(node)}
 	var acc units.Duration
 	av.busyPrefix = make([]units.Duration, len(av.busy))
@@ -292,6 +325,11 @@ func (t *Table) Availability(node model.NodeID) *Availability {
 		av.busyPrefix[i] = acc
 	}
 	av.totalBusy = acc
+	av.boundaries = make([]units.Time, 0, len(av.busy)+1)
+	av.boundaries = append(av.boundaries, 0)
+	for _, iv := range av.busy {
+		av.boundaries = append(av.boundaries, iv.Start)
+	}
 	return av
 }
 
@@ -394,14 +432,9 @@ func (av *Availability) Advance(from units.Time, demand units.Duration) units.Ti
 // period: phase zero and the start of every SCS busy interval. Supply
 // is minimal over windows that begin exactly when a reservation starts,
 // so these phases dominate all others for the FPS response-time
-// maximisation.
+// maximisation. The returned slice is shared and must not be modified.
 func (av *Availability) BusyBoundaries() []units.Time {
-	out := make([]units.Time, 0, len(av.busy)+1)
-	out = append(out, 0)
-	for _, iv := range av.busy {
-		out = append(out, iv.Start)
-	}
-	return out
+	return av.boundaries
 }
 
 // TotalBusy returns the SCS-reserved time in one period.
