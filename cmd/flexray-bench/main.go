@@ -10,6 +10,10 @@
 //	flexray-bench fig7            # response time vs DYN length (Fig. 7)
 //	flexray-bench fig9 [-full]    # heuristic evaluation (Fig. 9, both panels)
 //	flexray-bench campaign        # population sweep streamed as JSONL
+//	flexray-bench campaign -submit http://host:8080
+//	                              # same sweep, submitted as an async job
+//	                              # to a running flexray-serve instead of
+//	                              # executing locally
 //	flexray-bench cruise          # cruise-controller case study
 //	flexray-bench ablation        # design-choice ablations (DESIGN.md §6)
 //	flexray-bench all [-full]
@@ -23,27 +27,44 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 )
 
 var workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 	"concurrent evaluation workers for the population sweeps (default: one per CPU)")
 
+// workersSet records an explicit -workers flag: a submitted campaign
+// only overrides the server's own worker default when the user asked
+// for a specific count (the client's CPU count says nothing about the
+// server's).
+var workersSet bool
+
 func main() {
 	full := flag.Bool("full", false, "paper-scale Fig. 9 population (25 apps per node count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	submit := flag.String("submit", "", "submit the campaign to a running flexray-serve at this base URL instead of executing locally")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
 	// Accept the flags in any position: the flag package stops
 	// parsing at the first subcommand.
 	var cmds []string
@@ -56,13 +77,20 @@ func main() {
 		case a == "-workers" || a == "--workers":
 			i++
 			*workers = intArg(args, i, "-workers")
+			workersSet = true
 		case strings.HasPrefix(a, "-workers=") || strings.HasPrefix(a, "--workers="):
 			*workers = intVal(a, "-workers")
+			workersSet = true
 		case a == "-cpuprofile" || a == "--cpuprofile":
 			i++
 			*cpuprofile = strArg(args, i, "-cpuprofile")
 		case strings.HasPrefix(a, "-cpuprofile=") || strings.HasPrefix(a, "--cpuprofile="):
 			*cpuprofile = a[strings.Index(a, "=")+1:]
+		case a == "-submit" || a == "--submit":
+			i++
+			*submit = strArg(args, i, "-submit")
+		case strings.HasPrefix(a, "-submit=") || strings.HasPrefix(a, "--submit="):
+			*submit = a[strings.Index(a, "=")+1:]
 		default:
 			cmds = append(cmds, a)
 		}
@@ -97,7 +125,11 @@ func main() {
 		case "fig9":
 			fig9(*full)
 		case "campaign":
-			campaignJSONL(*full)
+			if *submit != "" {
+				submitCampaign(*submit, *full)
+			} else {
+				campaignJSONL(*full)
+			}
 		case "cruise":
 			cruiseStudy()
 		case "ablation":
@@ -260,6 +292,103 @@ func campaignJSONL(full bool) {
 		campaign.Options{Workers: *workers, SAWarmFromOBC: true}, os.Stdout); err != nil {
 		fail(err)
 	}
+}
+
+// submitCampaign ships the campaign population to a running
+// flexray-serve as an async job, tails its progress on stderr, and
+// prints the finished records to stdout as JSONL — the same output
+// shape as the local path, produced remotely.
+func submitCampaign(base string, full bool) {
+	p := experiments.QuickFig9Params()
+	if full {
+		p = experiments.DefaultFig9Params()
+	}
+	base = strings.TrimRight(base, "/")
+	spec := jobs.Spec{
+		Kind:          jobs.KindCampaign,
+		SAWarmFromOBC: true,
+		Tuning:        jobs.TuningFromOptions(p.Opts),
+		Population: &jobs.Population{
+			NodeCounts:     p.NodeCounts,
+			AppsPerCount:   p.AppsPerSet,
+			Seed:           p.Seed,
+			DeadlineFactor: p.DeadlineFactor,
+		},
+	}
+	if workersSet {
+		// Only an explicit -workers overrides the server's own
+		// evaluation-parallelism default.
+		spec.Workers = *workers
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		fail(err)
+	}
+	body, job := decodeJob(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		fail(fmt.Errorf("submit: %s: %s", resp.Status, body))
+	}
+	fmt.Fprintf(os.Stderr, "campaign: submitted job %s (%d systems) to %s\n",
+		job.ID, len(p.NodeCounts)*p.AppsPerSet, base)
+
+	for !job.Status.Terminal() {
+		time.Sleep(500 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			fail(err)
+		}
+		body, j := decodeJob(resp)
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("poll: %s: %s", resp.Status, body))
+		}
+		job = j
+		fmt.Fprintf(os.Stderr, "campaign: %s %d/%d (best %s, cost %.1f)\n",
+			job.Status, job.Progress.Completed, job.Progress.Total,
+			job.Progress.Best, job.Progress.BestCost)
+	}
+	if job.Status != jobs.StatusDone {
+		fail(fmt.Errorf("job %s: %s", job.Status, job.Error))
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("result: %s", resp.Status))
+	}
+	var res jobs.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, rec := range res.Records {
+		if err := enc.Encode(rec); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// decodeJob reads a job snapshot response (closing the body) and also
+// returns the raw bytes for error reporting.
+func decodeJob(resp *http.Response) ([]byte, jobs.Job) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		fail(err)
+	}
+	var job jobs.Job
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(buf.Bytes(), &job); err != nil {
+			fail(err)
+		}
+	}
+	return buf.Bytes(), job
 }
 
 func ablation() {

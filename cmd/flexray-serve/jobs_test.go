@@ -1,0 +1,392 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// submitJob POSTs a job spec and returns the accepted snapshot.
+func submitJob(t *testing.T, ts *httptest.Server, spec map[string]any) jobs.Job {
+	t.Helper()
+	resp, body := post(t, ts, "/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var job jobs.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Status != jobs.StatusQueued {
+		t.Fatalf("accepted job %+v, want queued with id", job)
+	}
+	return job
+}
+
+// pollJob polls until the job reaches want.
+func pollJob(t *testing.T, ts *httptest.Server, id string, want jobs.Status) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job jobs.Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status == want {
+			return job
+		}
+		if job.Status.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, job.Status, job.Error, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out polling job %s for %s", id, want)
+	return jobs.Job{}
+}
+
+func campaignSpec(nodeCounts []int, apps int, seed int64) map[string]any {
+	return map[string]any{
+		"kind":       "campaign",
+		"algorithms": []string{"bbc", "obc-cf"},
+		"tuning":     quickServeOptions(),
+		"population": map[string]any{
+			"node_counts":     nodeCounts,
+			"apps_per_count":  apps,
+			"seed":            seed,
+			"deadline_factor": 2.0,
+		},
+	}
+}
+
+// TestJobsAPI drives the full async lifecycle over HTTP: submit a
+// campaign, watch it list and poll, fetch the result, and check the
+// error paths (unknown id, unfinished result, invalid spec, cancel).
+func TestJobsAPI(t *testing.T) {
+	ts := testServer(t)
+
+	job := submitJob(t, ts, campaignSpec([]int{2}, 2, 7))
+	done := pollJob(t, ts, job.ID, jobs.StatusDone)
+	if done.Progress.Total != 2 || done.Progress.Completed != 2 {
+		t.Errorf("final progress %+v, want 2/2", done.Progress)
+	}
+
+	resp, body := get(t, ts, "/v1/jobs/"+job.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d: %s", resp.StatusCode, body)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("%d records, want 2", len(res.Records))
+	}
+
+	// Listing includes the job; status filters work.
+	resp, body = get(t, ts, "/v1/jobs?status=done")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Jobs []jobs.Job `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != job.ID {
+		t.Errorf("done list %+v, want exactly the finished job", list.Jobs)
+	}
+
+	// Error paths.
+	if resp, _ := get(t, ts, "/v1/jobs?status=runnning"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("misspelt status filter: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/jobs/j-nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/jobs/j-nope/result"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown result: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/jobs", map[string]any{"kind": "train"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: %d, want 400", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel finished job: %d, want 409", dresp.StatusCode)
+	}
+}
+
+// TestJobCancelOverHTTP: DELETE cancels a running job and its result
+// endpoint reports the conflict.
+func TestJobCancelOverHTTP(t *testing.T) {
+	ts := testServer(t)
+	// Default budgets (no tuning): long enough to observe running.
+	job := submitJob(t, ts, map[string]any{
+		"kind": "campaign",
+		"population": map[string]any{
+			"node_counts": []int{4}, "apps_per_count": 6, "seed": 1, "deadline_factor": 2.0,
+		},
+	})
+	pollJob(t, ts, job.ID, jobs.StatusRunning)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: %d", resp.StatusCode)
+	}
+	pollJob(t, ts, job.ID, jobs.StatusCancelled)
+	if resp, _ := get(t, ts, "/v1/jobs/"+job.ID+"/result"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of cancelled job: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestJobEventsSSE is the acceptance pin for the progress stream: SSE
+// events of a batch job arrive with systems-completed monotonically
+// non-decreasing, and the stream ends with a done event. A blocker job
+// occupies the single job worker until the stream is attached, so the
+// observed job cannot start (let alone finish) before the first event
+// is read — the test is deterministic, not a race against fast jobs.
+func TestJobEventsSSE(t *testing.T) {
+	ts := mustServer(t, serverConfig{
+		Workers: 2, MaxConcurrent: 2, Timeout: 5 * time.Minute, JobWorkers: 1,
+	})
+	blocker := submitJob(t, ts, map[string]any{
+		"kind": "campaign",
+		"population": map[string]any{
+			"node_counts": []int{4}, "apps_per_count": 6, "seed": 1, "deadline_factor": 2.0,
+		},
+	})
+	pollJob(t, ts, blocker.ID, jobs.StatusRunning)
+	job := submitJob(t, ts, campaignSpec([]int{2}, 4, 11))
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+
+	var (
+		events    int
+		last      = -1
+		lastEvent string
+		final     jobs.Job
+		unblocked bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	var eventName string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			eventName = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var snap jobs.Job
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", line, err)
+			}
+			events++
+			if snap.Progress.Completed < last {
+				t.Errorf("systems-completed decreased: %d -> %d", last, snap.Progress.Completed)
+			}
+			last = snap.Progress.Completed
+			lastEvent, final = eventName, snap
+			if !unblocked {
+				// The subscription is provably attached (an event
+				// arrived); release the worker so the job runs.
+				unblocked = true
+				if events != 1 || snap.Status != jobs.StatusQueued {
+					t.Errorf("first event is #%d with status %s, want a queued snapshot", events, snap.Status)
+				}
+				req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dresp.Body.Close()
+				if dresp.StatusCode != http.StatusOK {
+					t.Fatalf("cancel blocker: %d", dresp.StatusCode)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events < 2 {
+		t.Errorf("only %d events, want at least the queued snapshot and a done", events)
+	}
+	if lastEvent != "done" || final.Status != jobs.StatusDone {
+		t.Errorf("stream ended with %q/%s, want done/done", lastEvent, final.Status)
+	}
+	if final.Progress.Completed != 4 || final.Progress.Total != 4 {
+		t.Errorf("final progress %+v, want 4/4", final.Progress)
+	}
+}
+
+// TestServerRestartResumesJobs is the end-to-end durability pin: a
+// server shut down mid-campaign and restarted against the same -store
+// file serves the finished results of completed jobs and resumes its
+// queued ones.
+func TestServerRestartResumesJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	open := func() (*server, *httptest.Server) {
+		store, err := jobs.NewFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := newServer(serverConfig{
+			Workers: 1, MaxConcurrent: 2, Timeout: time.Minute,
+			JobStore: store, JobWorkers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, httptest.NewServer(s)
+	}
+
+	s1, ts1 := open()
+	finished := submitJob(t, ts1, campaignSpec([]int{2}, 2, 3))
+	pollJob(t, ts1, finished.ID, jobs.StatusDone)
+	_, wantBody := get(t, ts1, "/v1/jobs/"+finished.ID+"/result")
+
+	// Second job submitted and the server goes down right away: the
+	// job is queued or mid-run and must be checkpointed, not lost.
+	pending := submitJob(t, ts1, campaignSpec([]int{2, 3}, 2, 4))
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := open()
+	defer func() {
+		ts2.Close()
+		if err := s2.Close(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Finished result served from the store, byte-identical.
+	resp, body := get(t, ts2, "/v1/jobs/"+finished.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted result: %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, wantBody) {
+		t.Error("finished job's result drifted across restart")
+	}
+	// Queued job resumes and completes with the full record set.
+	pollJob(t, ts2, pending.ID, jobs.StatusDone)
+	resp, body = get(t, ts2, "/v1/jobs/"+pending.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed result: %d: %s", resp.StatusCode, body)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4 {
+		t.Errorf("resumed campaign has %d records, want 4", len(res.Records))
+	}
+}
+
+// get GETs a path and returns response + body.
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestJobQueueShedding: a full queue sheds with 503 + Retry-After.
+func TestJobQueueShedding(t *testing.T) {
+	s, err := newServer(serverConfig{
+		Workers: 1, MaxConcurrent: 1, Timeout: time.Minute,
+		JobWorkers: 1, JobQueueCap: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close(context.Background())
+	})
+	// One long-running job occupies the worker, one quick job fills
+	// the queue; the third submission must shed.
+	long := map[string]any{
+		"kind": "campaign",
+		"population": map[string]any{
+			"node_counts": []int{4}, "apps_per_count": 6, "seed": 1, "deadline_factor": 2.0,
+		},
+	}
+	running := submitJob(t, ts, long)
+	pollJob(t, ts, running.ID, jobs.StatusRunning)
+	submitJob(t, ts, campaignSpec([]int{2}, 1, 5))
+
+	raw, err := json.Marshal(campaignSpec([]int{2}, 1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit into full queue: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	// Unblock quickly so the test server drains fast.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+running.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+}

@@ -7,8 +7,9 @@
 //
 //	flexray-serve [-addr :8080] [-workers N] [-max-concurrent M]
 //	              [-timeout 2m] [-max-body 8388608] [-pprof]
+//	              [-store jobs.jsonl] [-job-workers N] [-queue-cap N]
 //
-// Endpoints:
+// Synchronous endpoints:
 //
 //	POST /v1/optimize  {"system": {...}, "algorithms": ["obc-cf"],
 //	                    "workers": 4, "options": {"sa_iterations": 500}}
@@ -17,18 +18,31 @@
 //	GET  /healthz
 //	GET  /debug/pprof/ (only with -pprof; off by default)
 //
+// Asynchronous jobs (durable with -store; see internal/jobs):
+//
+//	POST   /v1/jobs             submit {"kind": "optimize"|"campaign"|"sweep", ...}
+//	GET    /v1/jobs[?status=s]  list jobs
+//	GET    /v1/jobs/{id}        poll one job (status + progress)
+//	GET    /v1/jobs/{id}/result fetch the payload of a finished job
+//	GET    /v1/jobs/{id}/events live progress via Server-Sent Events
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//
 // Example round-trip (the paper's cruise-controller case study):
 //
 //	flexray-gen -cruise -o cruise.json
 //	curl -s -X POST localhost:8080/v1/optimize \
+//	    -H 'Content-Type: application/json' \
 //	    -d "{\"system\": $(cat cruise.json), \"algorithms\": [\"obc-cf\"]}"
 //
 // The server sheds load instead of queueing unboundedly: at most
-// -max-concurrent heavy computations run at once (excess gets 503),
-// bodies are capped at -max-body bytes, every request is answered
-// within -timeout (a computation that cannot be interrupted keeps its
-// slot until it finishes, so the concurrency bound holds even then),
-// and SIGINT/SIGTERM drain in-flight work before exiting.
+// -max-concurrent heavy computations run at once (excess gets 503 with
+// a Retry-After header), bodies are capped at -max-body bytes, every
+// request is answered within -timeout (a computation that cannot be
+// interrupted keeps its slot until it finishes, so the concurrency
+// bound holds even then), and the async queue is bounded by -queue-cap.
+// SIGINT/SIGTERM drain in-flight work before exiting; with a -store
+// file, queued and running jobs are checkpointed so a restarted server
+// resumes them and keeps serving finished results.
 package main
 
 import (
@@ -39,11 +53,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"mime"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +67,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/flexray"
+	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/schedule"
@@ -59,22 +76,39 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "evaluation workers per request (0 = GOMAXPROCS)")
-		maxConc = flag.Int("max-concurrent", 2, "heavy requests served at once (excess gets 503)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-request wall-clock budget")
-		maxBody = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the evaluation sessions)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "evaluation workers per request (0 = GOMAXPROCS)")
+		maxConc  = flag.Int("max-concurrent", 2, "heavy requests served at once (excess gets 503)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request wall-clock budget")
+		maxBody  = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the evaluation sessions)")
+		storeP   = flag.String("store", "", "append-only JSONL job store; empty keeps jobs in memory only")
+		jobWork  = flag.Int("job-workers", 2, "async jobs executed concurrently")
+		queueCap = flag.Int("queue-cap", 64, "queued async jobs before submissions are shed")
 	)
 	flag.Parse()
 
-	s := newServer(serverConfig{
+	var store jobs.Store
+	if *storeP != "" {
+		fs, err := jobs.NewFileStore(*storeP)
+		if err != nil {
+			log.Fatalf("flexray-serve: %v", err)
+		}
+		store = fs
+	}
+	s, err := newServer(serverConfig{
 		Workers:       *workers,
 		MaxConcurrent: *maxConc,
 		Timeout:       *timeout,
 		MaxBody:       *maxBody,
 		Pprof:         *pprofOn,
+		JobStore:      store,
+		JobWorkers:    *jobWork,
+		JobQueueCap:   *queueCap,
 	})
+	if err != nil {
+		log.Fatalf("flexray-serve: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s,
@@ -96,6 +130,13 @@ func main() {
 	log.Print("flexray-serve: draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
+	// Checkpoint the job subsystem first: running jobs are cancelled
+	// and written back to the store as queued (a restart resumes
+	// them), and the long-lived SSE event streams end — srv.Shutdown
+	// would otherwise wait out its whole grace period on them.
+	if err := s.Close(shutCtx); err != nil {
+		log.Printf("flexray-serve: job shutdown: %v", err)
+	}
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("flexray-serve: shutdown: %v", err)
 	}
@@ -117,6 +158,12 @@ type serverConfig struct {
 	// default: the profiling endpoints leak heap contents and must
 	// never face untrusted clients.
 	Pprof bool
+	// JobStore persists the async job subsystem; nil keeps jobs in
+	// memory for the lifetime of the process.
+	JobStore jobs.Store
+	// JobWorkers/JobQueueCap size the async job manager.
+	JobWorkers  int
+	JobQueueCap int
 }
 
 // server carries the shared request-shaping state; it implements
@@ -126,9 +173,13 @@ type server struct {
 	cfg     serverConfig
 	heavy   chan struct{} // admission semaphore for optimise/analyse/simulate
 	started time.Time
+	jobs    *jobs.Manager
+	// engine counts the synchronous endpoints' evaluations; healthz
+	// adds the job manager's totals on top.
+	engine campaign.EngineCounters
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
@@ -144,10 +195,26 @@ func newServer(cfg serverConfig) *server {
 		heavy:   make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
 	}
+	mgr, err := jobs.NewManager(cfg.JobStore, jobs.ManagerOptions{
+		Workers:     cfg.JobWorkers,
+		QueueCap:    cfg.JobQueueCap,
+		EvalWorkers: effectiveWorkers(cfg.Workers),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/optimize", s.guard(s.handleOptimize))
 	s.mux.HandleFunc("POST /v1/analyze", s.guard(s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/simulate", s.guard(s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/jobs", s.guard(s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	// The event stream is long-lived by design: no request timeout.
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	if cfg.Pprof {
 		// Mounted on the server's own mux (we never serve
 		// http.DefaultServeMux, so the net/http/pprof side-effect
@@ -158,21 +225,43 @@ func newServer(cfg serverConfig) *server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// guard applies the cheap request limits shared by the heavy
-// endpoints: bounded body and bounded time. The concurrency bound is
-// applied by compute, around the expensive section only.
+// Close shuts the job subsystem down, checkpointing queued and running
+// jobs to the store.
+func (s *server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
+
+// guard applies the cheap request limits shared by the POST endpoints:
+// JSON content type, bounded body and bounded time. The concurrency
+// bound is applied by compute, around the expensive section only.
 func (s *server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if !jsonContentType(r) {
+			httpError(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 		h(w, r.WithContext(ctx))
 	}
+}
+
+// jsonContentType accepts application/json (and +json variants); a
+// missing Content-Type is tolerated for terse curl use.
+func jsonContentType(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
 }
 
 // errBusy marks a request shed because every heavy slot is taken.
@@ -205,9 +294,14 @@ func (s *server) compute(ctx context.Context, fn func()) error {
 	}
 }
 
+// retryAfter is the hint sent with every load-shed response; shed
+// work frees up in seconds, not minutes, under the bounded queues.
+const retryAfter = "1"
+
 // computeError maps a compute failure onto its status code.
 func computeError(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBusy) {
+		w.Header().Set("Retry-After", retryAfter)
 		httpError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
 		return
 	}
@@ -215,55 +309,25 @@ func computeError(w http.ResponseWriter, err error) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	stats := s.jobs.Stats()
+	engine := stats.Engine
+	engine.Add(s.engine.Total())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"uptime_s":  int64(time.Since(s.started).Seconds()),
 		"workers":   effectiveWorkers(s.cfg.Workers),
 		"gomaxproc": runtime.GOMAXPROCS(0),
+		"engine":    engine,
+		"jobs":      stats,
 	})
 }
 
-// optimizeOptions are the user-tunable optimiser knobs; zero values
-// keep the defaults of core.DefaultOptions.
-type optimizeOptions struct {
-	DYNGridCap     int   `json:"dyn_grid_cap,omitempty"`
-	SlotCountCap   int   `json:"slot_count_cap,omitempty"`
-	SlotLenSteps   int   `json:"slot_len_steps,omitempty"`
-	MaxEvaluations int   `json:"max_evaluations,omitempty"`
-	SAIterations   int   `json:"sa_iterations,omitempty"`
-	SASeed         int64 `json:"sa_seed,omitempty"`
-}
-
-func (o *optimizeOptions) apply(opts core.Options) core.Options {
-	if o == nil {
-		return opts
-	}
-	if o.DYNGridCap > 0 {
-		opts.DYNGridCap = o.DYNGridCap
-	}
-	if o.SlotCountCap > 0 {
-		opts.SlotCountCap = o.SlotCountCap
-	}
-	if o.SlotLenSteps > 0 {
-		opts.SlotLenSteps = o.SlotLenSteps
-	}
-	if o.MaxEvaluations > 0 {
-		opts.MaxEvaluations = o.MaxEvaluations
-	}
-	if o.SAIterations > 0 {
-		opts.SAIterations = o.SAIterations
-	}
-	if o.SASeed != 0 {
-		opts.SASeed = o.SASeed
-	}
-	return opts
-}
-
 type optimizeRequest struct {
-	System     json.RawMessage  `json:"system"`
-	Algorithms []string         `json:"algorithms,omitempty"`
-	Workers    int              `json:"workers,omitempty"`
-	Options    *optimizeOptions `json:"options,omitempty"`
+	System     json.RawMessage `json:"system"`
+	Algorithms []string        `json:"algorithms,omitempty"`
+	Workers    int             `json:"workers,omitempty"`
+	// Options reuses the jobs subsystem's serialisable knob set.
+	Options *jobs.Tuning `json:"options,omitempty"`
 }
 
 type bestJSON struct {
@@ -295,7 +359,7 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
-	opts := req.Options.apply(core.DefaultOptions())
+	opts := req.Options.Apply(core.DefaultOptions())
 	var (
 		pf   *campaign.PortfolioResult
 		pErr error
@@ -320,6 +384,7 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	s.engine.Add(pf.Engine)
 	writeJSON(w, http.StatusOK, optimizeResponse{
 		Best: bestJSON{
 			Algorithm:   pf.Best.Algorithm,
@@ -369,6 +434,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("schedule construction failed: %v", bErr))
 		return
 	}
+	s.engine.Add(campaign.EngineStats{Evaluations: 1})
 	resp := analyzeResponse{
 		Schedulable: res.Schedulable,
 		Cost:        res.Cost,
@@ -426,6 +492,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, sErr.Error())
 		return
 	}
+	s.engine.Add(campaign.EngineStats{Evaluations: 1})
 	resp := simulateResponse{
 		MaxResponseUs:  map[string]float64{},
 		Completions:    map[string]int{},

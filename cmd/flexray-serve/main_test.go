@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,15 +17,33 @@ import (
 	"repro/internal/synth"
 )
 
+// mustServer builds a server over cfg and tears the job subsystem down
+// with the test.
+func mustServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("job shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(serverConfig{
+	return mustServer(t, serverConfig{
 		Workers:       2,
 		MaxConcurrent: 2,
 		Timeout:       5 * time.Minute,
-	}))
-	t.Cleanup(ts.Close)
-	return ts
+	})
 }
 
 func systemJSON(t *testing.T, sys *model.System) json.RawMessage {
@@ -247,22 +266,45 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-// TestBodyLimit: oversized bodies are rejected, not buffered.
-func TestBodyLimit(t *testing.T) {
-	ts := httptest.NewServer(newServer(serverConfig{MaxBody: 256, Timeout: time.Minute, MaxConcurrent: 2}))
-	defer ts.Close()
+// TestRequestGuards pins the request-shaping paths shared by every
+// POST endpoint: oversized body → 413, malformed JSON → 400, wrong
+// method → 405, non-JSON content type → 415.
+func TestRequestGuards(t *testing.T) {
+	ts := mustServer(t, serverConfig{MaxBody: 256, Timeout: time.Minute, MaxConcurrent: 2})
+	endpoints := []string{"/v1/optimize", "/v1/analyze", "/v1/simulate", "/v1/jobs"}
 	big := fmt.Sprintf(`{"system": %q}`, strings.Repeat("x", 1024))
-	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(big))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Errorf("status %d, want 413", resp.StatusCode)
+	for _, path := range endpoints {
+		for _, tc := range []struct {
+			name        string
+			method      string
+			contentType string
+			body        string
+			want        int
+		}{
+			{"oversized body", http.MethodPost, "application/json", big, http.StatusRequestEntityTooLarge},
+			{"malformed JSON", http.MethodPost, "application/json", `{"system": `, http.StatusBadRequest},
+			{"method not allowed", http.MethodPut, "application/json", `{}`, http.StatusMethodNotAllowed},
+			{"non-JSON content type", http.MethodPost, "text/plain", `{}`, http.StatusUnsupportedMediaType},
+		} {
+			req, err := http.NewRequest(tc.method, ts.URL+path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", tc.contentType)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s (%s): status %d, want %d", tc.method, path, tc.name, resp.StatusCode, tc.want)
+			}
+		}
 	}
 }
 
-// TestHealthz: the liveness probe answers without limits applied.
+// TestHealthz: the liveness probe answers without limits applied and
+// exposes the engine cache counters and job-subsystem state.
 func TestHealthz(t *testing.T) {
 	ts := testServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -272,6 +314,21 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	var payload struct {
+		Status string           `json:"status"`
+		Engine *json.RawMessage `json:"engine"`
+		Jobs   *json.RawMessage `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Status != "ok" {
+		t.Errorf("status %q, want ok", payload.Status)
+	}
+	if payload.Engine == nil || payload.Jobs == nil {
+		t.Errorf("healthz payload missing engine/jobs sections: engine=%v jobs=%v",
+			payload.Engine != nil, payload.Jobs != nil)
 	}
 }
 
@@ -293,13 +350,12 @@ func TestPprofDisabled(t *testing.T) {
 
 // TestPprofEnabled: with -pprof the index answers.
 func TestPprofEnabled(t *testing.T) {
-	ts := httptest.NewServer(newServer(serverConfig{
+	ts := mustServer(t, serverConfig{
 		Workers:       1,
 		MaxConcurrent: 1,
 		Timeout:       time.Minute,
 		Pprof:         true,
-	}))
-	defer ts.Close()
+	})
 	resp, err := http.Get(ts.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)

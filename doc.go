@@ -91,10 +91,32 @@
 // per-algorithm telemetry. Campaign and CampaignJSONL shard a
 // generated population — PopulationSpecs builds the paper's
 // Section 7 sets — across workers and stream per-system records in
-// deterministic order; the Fig. 7 and Fig. 9 experiment sweeps run on
+// deterministic order; CampaignSystems does the same over an explicit,
+// pre-built population. The Fig. 7 and Fig. 9 experiment sweeps run on
 // this engine.
 //
+// # Jobs
+//
+// The job subsystem is the asynchronous face of the campaign layer,
+// built for work that outlives a request: whole-population campaigns,
+// what-if configuration sweeps, long portfolio optimisations. A
+// JobManager (NewJobManager) owns a bounded priority queue and a
+// worker pool executing three job kinds — JobOptimize, JobCampaign
+// over synthesised or uploaded populations, and JobSweep
+// (analyze/simulate batches) — each with a full lifecycle (queued,
+// running, done/failed/cancelled), monotone progress counters
+// (systems completed, best cost so far, engine cache stats),
+// cooperative cancellation and a per-job event stream (Subscribe).
+// Durability is pluggable through JobStore: NewJobMemStore keeps jobs
+// in memory, NewJobFileStore appends every submission and transition
+// to a JSONL file and replays it on startup, so a killed or gracefully
+// stopped manager resumes interrupted jobs and still serves the
+// results of finished ones.
+//
 // cmd/flexray-serve exposes the same pipeline as a JSON HTTP service:
-// POST /v1/optimize, /v1/analyze and /v1/simulate, with bounded
-// concurrency, body and time limits, and graceful shutdown.
+// POST /v1/optimize, /v1/analyze and /v1/simulate synchronously, with
+// bounded concurrency, body and time limits; and the job subsystem
+// under /v1/jobs (submit, list, poll, result, cancel, and live
+// progress via Server-Sent Events on /v1/jobs/{id}/events), with
+// graceful shutdown checkpointing outstanding jobs to the -store file.
 package flexopt

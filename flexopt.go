@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cruise"
 	"repro/internal/flexray"
+	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/schedule"
@@ -261,3 +262,73 @@ func CampaignJSONL(ctx context.Context, specs []GenParams, opts Options, copts C
 func PopulationSpecs(nodeCounts []int, apps int, seed int64, deadlineFactor float64) []GenParams {
 	return campaign.PopulationSpecs(nodeCounts, apps, seed, deadlineFactor)
 }
+
+// CampaignSystems is Campaign over an explicit, pre-built population —
+// systems constructed with Builder or parsed from JSON instead of
+// generator parameters — with the same sharding, ordering and
+// determinism guarantees.
+func CampaignSystems(ctx context.Context, systems []*System, opts Options, copts CampaignOptions, emit func(CampaignRecord) error) error {
+	return campaign.RunSystems(ctx, systems, opts, copts, emit)
+}
+
+// Asynchronous job subsystem: durable optimisation jobs, batch
+// campaigns and analyze/simulate sweeps with live progress streams.
+type (
+	// JobManager owns a bounded priority queue and a worker pool
+	// executing async jobs; it is what flexray-serve exposes under
+	// /v1/jobs.
+	JobManager = jobs.Manager
+	// JobManagerOptions size the worker pool and the queue.
+	JobManagerOptions = jobs.ManagerOptions
+	// JobManagerStats snapshot job counts and engine totals.
+	JobManagerStats = jobs.ManagerStats
+	// JobSpec describes one job: kind, payload, priority and knobs.
+	JobSpec = jobs.Spec
+	// JobPopulation is a campaign job's input set (synthesised or
+	// uploaded).
+	JobPopulation = jobs.Population
+	// JobTuning are the serialisable optimiser knobs of a job.
+	JobTuning = jobs.Tuning
+	// JobKind selects what a job computes.
+	JobKind = jobs.Kind
+	// JobStatus is the lifecycle state of a job.
+	JobStatus = jobs.Status
+	// Job is the externally visible snapshot of one job.
+	Job = jobs.Job
+	// JobProgress carries a job's live counters.
+	JobProgress = jobs.Progress
+	// JobResult is the payload of a finished job.
+	JobResult = jobs.Result
+	// JobEvent is one element of a job's progress stream.
+	JobEvent = jobs.Event
+	// JobStore persists job history for crash recovery.
+	JobStore = jobs.Store
+)
+
+// Job kinds and lifecycle states.
+const (
+	JobOptimize = jobs.KindOptimize
+	JobCampaign = jobs.KindCampaign
+	JobSweep    = jobs.KindSweep
+
+	JobQueued    = jobs.StatusQueued
+	JobRunning   = jobs.StatusRunning
+	JobDone      = jobs.StatusDone
+	JobFailed    = jobs.StatusFailed
+	JobCancelled = jobs.StatusCancelled
+)
+
+// NewJobManager builds a job manager over the given store (nil keeps
+// jobs in memory), replaying the store's history — finished jobs come
+// back with their results, interrupted ones are re-enqueued — and
+// starting the worker pool. Close it to checkpoint outstanding work.
+func NewJobManager(store JobStore, opts JobManagerOptions) (*JobManager, error) {
+	return jobs.NewManager(store, opts)
+}
+
+// NewJobMemStore returns an in-memory job store (no crash recovery).
+func NewJobMemStore() JobStore { return jobs.NewMemStore() }
+
+// NewJobFileStore opens (creating if needed) the append-only JSONL job
+// store at path; a manager built over it resumes the recorded state.
+func NewJobFileStore(path string) (JobStore, error) { return jobs.NewFileStore(path) }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flexray"
+	"repro/internal/model"
 	"repro/internal/synth"
 )
 
@@ -38,6 +39,7 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	o.Workers = clampWorkers(o.Workers)
 	if len(o.Algorithms) == 0 {
 		o.Algorithms = Algorithms
 	}
@@ -74,6 +76,21 @@ type Record struct {
 	Engine EngineStats `json:"engine"`
 }
 
+// normalized applies defaults and canonicalises the algorithm list.
+func (o Options) normalized() (Options, error) {
+	o = o.withDefaults()
+	algs := make([]string, len(o.Algorithms))
+	for i, a := range o.Algorithms {
+		c, err := NormalizeAlgorithm(a)
+		if err != nil {
+			return o, err
+		}
+		algs[i] = c
+	}
+	o.Algorithms = algs
+	return o, nil
+}
+
 // Run shards the population across Workers goroutines — each system is
 // generated from its synth.Params and optimised with the configured
 // algorithm suite — and emits one Record per system, in spec order
@@ -81,29 +98,50 @@ type Record struct {
 // its own spec, so the output is deterministic for any worker count.
 // A non-nil error from emit, or a cancelled ctx, aborts the campaign.
 func Run(ctx context.Context, specs []synth.Params, opts core.Options, copts Options, emit func(Record) error) error {
-	copts = copts.withDefaults()
-	algs := make([]string, len(copts.Algorithms))
-	for i, a := range copts.Algorithms {
-		c, err := NormalizeAlgorithm(a)
-		if err != nil {
-			return err
-		}
-		algs[i] = c
+	copts, err := copts.normalized()
+	if err != nil {
+		return err
 	}
-	copts.Algorithms = algs
+	return runShards(ctx, len(specs), copts.Workers, emit, func(ctx context.Context, i int) Record {
+		return evaluateSystem(ctx, i, specs[i], opts, copts)
+	})
+}
+
+// RunSystems is Run over an explicit, pre-built population — uploaded
+// systems instead of generator parameters — with the same sharding,
+// ordering and determinism guarantees.
+func RunSystems(ctx context.Context, systems []*model.System, opts core.Options, copts Options, emit func(Record) error) error {
+	copts, err := copts.normalized()
+	if err != nil {
+		return err
+	}
+	return runShards(ctx, len(systems), copts.Workers, emit, func(ctx context.Context, i int) Record {
+		rec := Record{Index: i, Nodes: systems[i].Platform.NumNodes, Name: systems[i].Name}
+		if err := ctx.Err(); err != nil {
+			rec.Err = err.Error()
+			return rec
+		}
+		optimiseSystem(ctx, &rec, systems[i], opts, copts)
+		return rec
+	})
+}
+
+// runShards is the shared campaign machinery: n independent work items
+// sharded across workers, records emitted strictly in index order.
+func runShards(ctx context.Context, n, workers int, emit func(Record) error, eval func(ctx context.Context, i int) Record) error {
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	jobs := make(chan int)
-	results := make(chan Record, copts.Workers)
+	results := make(chan Record, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < copts.Workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				rec := evaluateSystem(ctx, i, specs[i], opts, copts)
+				rec := eval(ctx, i)
 				select {
 				case results <- rec:
 				case <-ctx.Done():
@@ -114,7 +152,7 @@ func Run(ctx context.Context, specs []synth.Params, opts core.Options, copts Opt
 	}
 	go func() {
 		defer close(jobs)
-		for i := range specs {
+		for i := 0; i < n; i++ {
 			select {
 			case jobs <- i:
 			case <-ctx.Done():
@@ -198,7 +236,13 @@ func evaluateSystem(ctx context.Context, idx int, sp synth.Params, opts core.Opt
 		return rec
 	}
 	rec.Name = sys.Name
+	optimiseSystem(ctx, &rec, sys, opts, copts)
+	return rec
+}
 
+// optimiseSystem runs the configured algorithm suite on one system and
+// fills in the record's runs, winner and engine telemetry.
+func optimiseSystem(ctx context.Context, rec *Record, sys *model.System, opts core.Options, copts Options) {
 	engine := NewEngine(ctx, copts.Engine)
 	runOpts := engine.Hook(opts)
 
@@ -238,5 +282,4 @@ func evaluateSystem(ctx context.Context, idx int, sp synth.Params, opts core.Opt
 		rec.Runs = nil
 		rec.Best, rec.BestCost, rec.Schedulable = "", 0, false
 	}
-	return rec
 }

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/synth"
 )
 
@@ -176,5 +177,55 @@ func TestPopulationSpecs(t *testing.T) {
 	}
 	if specs[0].DeadlineFactor != 1.5 {
 		t.Errorf("deadline factor %v, want 1.5", specs[0].DeadlineFactor)
+	}
+}
+
+// TestRunSystemsParity: RunSystems over pre-generated systems emits
+// the same optimisation outcomes as Run over the generating specs.
+func TestRunSystemsParity(t *testing.T) {
+	specs := PopulationSpecs([]int{2}, 3, 1, 2.0)
+	systems := make([]*model.System, len(specs))
+	for i, sp := range specs {
+		sys, err := synth.Generate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	copts := Options{Workers: 2, SAWarmFromOBC: true}
+	var fromSpecs, fromSystems []Record
+	if err := Run(context.Background(), specs, quickOpts(), copts,
+		func(r Record) error { fromSpecs = append(fromSpecs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSystems(context.Background(), systems, quickOpts(), copts,
+		func(r Record) error { fromSystems = append(fromSystems, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromSystems) != len(fromSpecs) {
+		t.Fatalf("%d records from systems, %d from specs", len(fromSystems), len(fromSpecs))
+	}
+	a, b := scrub(fromSpecs), scrub(fromSystems)
+	for i := range a {
+		// RunSystems has no generator parameters: seed is zero there.
+		a[i].Seed = 0
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Errorf("record %d differs:\nspecs:   %+v\nsystems: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunSystemsCancel: a cancelled context aborts with its error.
+func TestRunSystemsCancel(t *testing.T) {
+	sys, err := synth.Generate(synth.DefaultParams(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = RunSystems(ctx, []*model.System{sys}, quickOpts(), Options{Workers: 1},
+		func(Record) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -83,6 +83,36 @@ type EngineStats struct {
 	CacheMisses int64 `json:"cache_misses"`
 }
 
+// Add folds another snapshot into s.
+func (s *EngineStats) Add(o EngineStats) {
+	s.Evaluations += o.Evaluations
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+}
+
+// EngineCounters accumulate EngineStats from any number of goroutines;
+// the serving layer and the job manager track their process totals
+// with one. The zero value is ready to use.
+type EngineCounters struct {
+	evals, hits, misses atomic.Int64
+}
+
+// Add folds one snapshot into the counters.
+func (c *EngineCounters) Add(st EngineStats) {
+	c.evals.Add(st.Evaluations)
+	c.hits.Add(st.CacheHits)
+	c.misses.Add(st.CacheMisses)
+}
+
+// Total snapshots the accumulated counters.
+func (c *EngineCounters) Total() EngineStats {
+	return EngineStats{
+		Evaluations: c.evals.Load(),
+		CacheHits:   c.hits.Load(),
+		CacheMisses: c.misses.Load(),
+	}
+}
+
 // cacheKey identifies one evaluation: the system instance, the
 // configuration digest and the exact scheduler options.
 type cacheKey struct {
@@ -158,6 +188,17 @@ type Engine struct {
 
 var _ core.EvalHook = (*Engine)(nil)
 
+// clampWorkers bounds a requested worker count to a small multiple of
+// the CPU count: evaluations are pure CPU, so parallelism beyond that
+// only costs memory — and the request may come from an untrusted
+// client (flexray-serve forwards worker counts from job specs).
+func clampWorkers(w int) int {
+	if max := 8 * runtime.GOMAXPROCS(0); w > max {
+		return max
+	}
+	return w
+}
+
 // NewEngine builds an engine. The context cancels in-flight and future
 // evaluations: after cancellation every evaluation returns an
 // infeasible cost immediately, so running optimisers drain fast and
@@ -170,6 +211,7 @@ func NewEngine(ctx context.Context, opts EngineOptions) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	w = clampWorkers(w)
 	capacity := opts.CacheSize
 	if capacity == 0 {
 		capacity = DefaultCacheSize

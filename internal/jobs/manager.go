@@ -1,0 +1,644 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// ManagerOptions tune a job manager.
+type ManagerOptions struct {
+	// Workers is the number of jobs executed concurrently; <= 0
+	// selects 2. Each job additionally parallelises internally up to
+	// its spec's Workers (or EvalWorkers).
+	Workers int
+	// QueueCap bounds the number of queued (not yet running) jobs;
+	// <= 0 selects 64. Submissions beyond it fail with ErrQueueFull —
+	// the manager sheds instead of queueing unboundedly.
+	QueueCap int
+	// EvalWorkers is the per-job evaluation parallelism used when a
+	// spec does not set its own; <= 0 selects 1.
+	EvalWorkers int
+	// Logf receives operational messages (store append failures,
+	// replay summaries); nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.EvalWorkers <= 0 {
+		o.EvalWorkers = 1
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// ManagerStats snapshot the manager for operators: job counts per
+// lifecycle state plus the evaluation-engine counters accumulated
+// across every job the manager ran.
+type ManagerStats struct {
+	Queued    int                  `json:"queued"`
+	Running   int                  `json:"running"`
+	Done      int                  `json:"done"`
+	Failed    int                  `json:"failed"`
+	Cancelled int                  `json:"cancelled"`
+	Engine    campaign.EngineStats `json:"engine"`
+}
+
+// job is the manager-internal state of one job; every field is guarded
+// by the manager mutex except the immutable id/spec/seq.
+type job struct {
+	id   string
+	spec Spec
+	seq  uint64
+
+	status      Status
+	err         string
+	progress    Progress
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+
+	heapIdx    int
+	cancel     context.CancelFunc // non-nil while running
+	userCancel bool
+	result     *Result
+	subs       map[*subscriber]struct{}
+}
+
+func (j *job) snapshot() Job {
+	return Job{
+		ID:          j.id,
+		Kind:        j.spec.Kind,
+		Priority:    j.spec.Priority,
+		Status:      j.status,
+		Error:       j.err,
+		Progress:    j.progress,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+	}
+}
+
+// subscriber is one live event stream. Sends and the single close all
+// happen under the manager mutex, keyed on set membership, so a
+// channel is never closed twice or sent to after close.
+type subscriber struct {
+	ch chan Event
+}
+
+// Manager owns the queue, the worker pool and the durable store.
+//
+// Terminal jobs (and their results) are retained for the manager's
+// lifetime so results stay fetchable; the QueueCap bound applies to
+// pending work only. Long-lived deployments with sustained submission
+// rates should recycle the store periodically — retention limits and
+// store compaction are tracked on the roadmap.
+type Manager struct {
+	opts   ManagerOptions
+	store  Store
+	ctx    context.Context
+	cancel context.CancelFunc
+	wake   chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	queue   jobHeap
+	seq     uint64
+	closing bool
+	// reserved counts submissions whose durable append is still in
+	// flight; they hold a queue slot so the capacity bound stays
+	// exact while the fsync happens outside the manager lock.
+	reserved int
+
+	engine campaign.EngineCounters
+}
+
+// NewManager builds a manager over the given store (nil selects a
+// fresh MemStore), replays the store's history — finished jobs come
+// back with their results, queued and interrupted-running jobs are
+// re-enqueued — and starts the worker pool.
+func NewManager(store Store, opts ManagerOptions) (*Manager, error) {
+	if store == nil {
+		store = NewMemStore()
+	}
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:   opts,
+		store:  store,
+		ctx:    ctx,
+		cancel: cancel,
+		wake:   make(chan struct{}, opts.Workers),
+		jobs:   map[string]*job{},
+	}
+	if err := m.replay(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.signal(len(m.queue))
+	return m, nil
+}
+
+// replay rebuilds the job table from the store. A job whose last
+// recorded status is running was interrupted by a crash or kill; it
+// goes back to the queue, progress reset, exactly as a graceful
+// shutdown would have checkpointed it.
+func (m *Manager) replay() error {
+	err := m.store.Replay(func(rec StoreRecord) error {
+		switch rec.Type {
+		case recordSubmit:
+			if rec.ID == "" || rec.Spec == nil {
+				return nil
+			}
+			j := &job{
+				id:          rec.ID,
+				spec:        *rec.Spec,
+				seq:         m.seq,
+				status:      StatusQueued,
+				submittedAt: rec.Time,
+				heapIdx:     -1,
+				subs:        map[*subscriber]struct{}{},
+			}
+			m.seq++
+			m.jobs[rec.ID] = j
+		case recordStatus:
+			j := m.jobs[rec.ID]
+			if j == nil || !rec.Status.Valid() {
+				return nil
+			}
+			j.status = rec.Status
+			j.err = rec.Error
+			if rec.Progress != nil {
+				j.progress = *rec.Progress
+			}
+			if rec.Result != nil {
+				j.result = rec.Result
+			}
+			switch rec.Status {
+			case StatusQueued:
+				j.startedAt, j.finishedAt = time.Time{}, time.Time{}
+			case StatusRunning:
+				j.startedAt = rec.Time
+			default:
+				j.finishedAt = rec.Time
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Re-enqueue interrupted work in original submission order.
+	var resumed []*job
+	for _, j := range m.jobs {
+		if j.status == StatusQueued || j.status == StatusRunning {
+			j.status = StatusQueued
+			j.startedAt = time.Time{}
+			j.progress = Progress{}
+			resumed = append(resumed, j)
+		}
+		if j.status.Terminal() {
+			m.engine.Add(j.progress.Engine)
+		}
+	}
+	sort.Slice(resumed, func(a, b int) bool { return resumed[a].seq < resumed[b].seq })
+	for _, j := range resumed {
+		heap.Push(&m.queue, j)
+	}
+	if len(m.jobs) > 0 {
+		m.opts.Logf("jobs: replayed %d jobs (%d resumed)", len(m.jobs), len(resumed))
+	}
+	return nil
+}
+
+// EngineTotals reports the evaluation-engine counters accumulated
+// across all jobs (finished and in progress).
+func (m *Manager) EngineTotals() campaign.EngineStats {
+	return m.engine.Total()
+}
+
+// signal wakes up to n idle workers.
+func (m *Manager) signal(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case m.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy: %v", err))
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// Submit validates and enqueues a job, durably recording it before
+// acknowledging. It fails with ErrQueueFull when the queue is at
+// capacity and ErrClosed after Close.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	if len(m.queue)+m.reserved >= m.opts.QueueCap {
+		m.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	m.reserved++
+	j := &job{
+		id:          newID(),
+		spec:        spec,
+		seq:         m.seq,
+		status:      StatusQueued,
+		submittedAt: time.Now(),
+		heapIdx:     -1,
+		subs:        map[*subscriber]struct{}{},
+	}
+	m.seq++
+	m.mu.Unlock()
+
+	// The durable append — an fsync on the file store — runs outside
+	// the manager lock so a slow disk never blocks reads or running
+	// jobs' progress updates; the reservation above keeps the queue
+	// bound exact meanwhile.
+	err := m.store.Append(StoreRecord{
+		Type: recordSubmit, ID: j.id, Time: j.submittedAt, Spec: &spec,
+	})
+
+	m.mu.Lock()
+	m.reserved--
+	if err != nil {
+		m.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	// A Close that raced the append has already swept the job table;
+	// the record is durable either way, so the job is inserted and
+	// acknowledged — this process won't run it, a restart will.
+	m.jobs[j.id] = j
+	heap.Push(&m.queue, j)
+	snap := j.snapshot()
+	m.mu.Unlock()
+	m.signal(1)
+	return snap, nil
+}
+
+// Get returns the snapshot of one job.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Job{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns job snapshots in submission order, optionally filtered
+// by status ("" lists everything).
+func (m *Manager) List(status Status) []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	all := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if status == "" || j.status == status {
+			all = append(all, j)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
+	out := make([]Job, len(all))
+	for i, j := range all {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Result returns the payload of a finished job. Non-terminal jobs fail
+// with ErrNotFinished, failed/cancelled ones with ErrNoResult; the
+// snapshot is returned in every case so callers can report status.
+func (m *Manager) Result(id string) (*Result, Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, Job{}, ErrNotFound
+	}
+	snap := j.snapshot()
+	switch {
+	case !j.status.Terminal():
+		return nil, snap, ErrNotFinished
+	case j.result == nil:
+		return nil, snap, ErrNoResult
+	}
+	return j.result, snap, nil
+}
+
+// Cancel cancels a job: a queued one terminates immediately, a running
+// one is cancelled cooperatively (its engine drains and the worker
+// marks it cancelled). Terminal jobs fail with ErrTerminal.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		m.mu.Unlock()
+		return Job{}, ErrNotFound
+	}
+	switch {
+	case j.status.Terminal():
+		snap := j.snapshot()
+		m.mu.Unlock()
+		return snap, ErrTerminal
+	case j.status == StatusQueued:
+		// A shutdown-checkpointed job is queued but no longer on the
+		// heap (heapIdx -1); only remove what the heap still holds.
+		if j.heapIdx >= 0 {
+			heap.Remove(&m.queue, j.heapIdx)
+		}
+		j.userCancel = true
+		rec := m.finishLocked(j, StatusCancelled, "cancelled before start", nil)
+		snap := j.snapshot()
+		m.mu.Unlock()
+		m.appendStatus(rec)
+		return snap, nil
+	default: // running
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		// Write-ahead cancellation intent: if the process dies during
+		// the cooperative drain, replay must not resurrect the job.
+		// Appended while still holding the manager lock — cancels are
+		// rare, and the lock guarantees this record precedes the
+		// worker's terminal one (the worker takes the same lock
+		// before recording its outcome), so a run that managed to
+		// finish before the cancellation took effect replays as done.
+		m.appendStatus(StoreRecord{
+			Type: recordStatus, ID: j.id, Time: time.Now(),
+			Status: StatusCancelled, Error: "cancellation requested",
+		})
+		snap := j.snapshot()
+		m.mu.Unlock()
+		return snap, nil
+	}
+}
+
+// Subscribe attaches an event stream to a job. The returned snapshot
+// is the state at subscription time; the channel delivers monotone
+// progress snapshots and closes after the terminal transition (or
+// immediately for an already-terminal job). Slow consumers skip
+// intermediate events instead of blocking the manager. The cancel
+// function detaches the stream; it is safe to call more than once.
+func (m *Manager) Subscribe(id string) (Job, <-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Job{}, nil, nil, ErrNotFound
+	}
+	snap := j.snapshot()
+	ch := make(chan Event, 16)
+	if j.status.Terminal() || m.closing {
+		close(ch)
+		return snap, ch, func() {}, nil
+	}
+	sub := &subscriber{ch: ch}
+	j.subs[sub] = struct{}{}
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if _, ok := j.subs[sub]; ok {
+			delete(j.subs, sub)
+			close(sub.ch)
+		}
+	}
+	return snap, ch, cancel, nil
+}
+
+// publishLocked fans one event out to the job's subscribers; full
+// buffers drop the event (snapshots supersede each other).
+func (m *Manager) publishLocked(j *job, typ string) {
+	if len(j.subs) == 0 {
+		return
+	}
+	ev := Event{Type: typ, Job: j.snapshot()}
+	for sub := range j.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every stream of a job.
+func (m *Manager) closeSubsLocked(j *job) {
+	for sub := range j.subs {
+		delete(j.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// appendStatus best-effort records a transition; a failing store is
+// logged, not fatal — the in-memory state stays authoritative.
+func (m *Manager) appendStatus(rec StoreRecord) {
+	if err := m.store.Append(rec); err != nil {
+		m.opts.Logf("jobs: store append (%s %s): %v", rec.ID, rec.Status, err)
+	}
+}
+
+// finishLocked moves a job to a terminal state and ends its event
+// streams. It returns the store record for the transition; the caller
+// appends it after releasing the manager lock, so the file store's
+// fsync never stalls reads or other jobs' progress updates. Per-job
+// record order still holds: each job has a single writer (its worker,
+// or Cancel for a job no worker can reach).
+func (m *Manager) finishLocked(j *job, st Status, errMsg string, res *Result) StoreRecord {
+	j.status = st
+	j.err = errMsg
+	j.result = res
+	j.finishedAt = time.Now()
+	j.cancel = nil
+	prog := j.progress
+	m.publishLocked(j, "done")
+	m.closeSubsLocked(j)
+	return StoreRecord{
+		Type: recordStatus, ID: j.id, Time: j.finishedAt,
+		Status: st, Error: errMsg, Progress: &prog, Result: res,
+	}
+}
+
+// worker executes queued jobs until the manager shuts down.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.wake:
+		}
+		for {
+			j, ctx := m.startNext()
+			if j == nil {
+				break
+			}
+			m.execute(ctx, j)
+		}
+	}
+}
+
+// startNext pops the highest-priority queued job and transitions it to
+// running; nil when the queue is empty or the manager is closing.
+func (m *Manager) startNext() (*job, context.Context) {
+	m.mu.Lock()
+	if m.closing || len(m.queue) == 0 {
+		m.mu.Unlock()
+		return nil, nil
+	}
+	j := heap.Pop(&m.queue).(*job)
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.cancel = cancel
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	rec := StoreRecord{
+		Type: recordStatus, ID: j.id, Time: j.startedAt, Status: StatusRunning,
+	}
+	m.publishLocked(j, "update")
+	m.mu.Unlock()
+	m.appendStatus(rec)
+	return j, ctx
+}
+
+// execute runs one job to a terminal state — or, when the manager is
+// shutting down, checkpoints it back to queued so a restarted manager
+// resumes it from the store.
+func (m *Manager) execute(ctx context.Context, j *job) {
+	res, err := m.run(ctx, j)
+	m.mu.Lock()
+	if cancel := j.cancel; cancel != nil {
+		defer cancel() // release the context's resources
+	}
+	var rec StoreRecord
+	switch {
+	case err == nil:
+		rec = m.finishLocked(j, StatusDone, "", res)
+	case j.userCancel:
+		rec = m.finishLocked(j, StatusCancelled, err.Error(), nil)
+	case m.closing && errors.Is(err, context.Canceled):
+		// Shutdown checkpoint: the run was interrupted by Close (a
+		// genuine failure that merely coincides with shutdown is not
+		// a cancellation and still lands in the failed branch). Back
+		// to queued, progress reset; the store record is what a
+		// restarted manager resumes from. The reset is not published:
+		// streams promise monotone counters, and these subscribers
+		// are ending with the manager anyway.
+		j.status = StatusQueued
+		j.startedAt = time.Time{}
+		j.progress = Progress{}
+		j.cancel = nil
+		rec = StoreRecord{
+			Type: recordStatus, ID: j.id, Time: time.Now(),
+			Status: StatusQueued, Progress: &Progress{},
+		}
+		m.closeSubsLocked(j)
+	default:
+		rec = m.finishLocked(j, StatusFailed, err.Error(), nil)
+	}
+	m.mu.Unlock()
+	m.appendStatus(rec)
+}
+
+// updateProgress mutates a job's progress under the lock and streams
+// the new snapshot.
+func (m *Manager) updateProgress(j *job, mut func(p *Progress)) {
+	m.mu.Lock()
+	mut(&j.progress)
+	m.publishLocked(j, "update")
+	m.mu.Unlock()
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{Engine: m.EngineTotals()}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.status {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		case StatusDone:
+			st.Done++
+		case StatusFailed:
+			st.Failed++
+		case StatusCancelled:
+			st.Cancelled++
+		}
+	}
+	m.mu.Unlock()
+	return st
+}
+
+// Close shuts the manager down: submissions are rejected, running jobs
+// are cancelled and checkpointed back to queued in the store (so a
+// restart resumes them), worker exit is awaited up to ctx, and the
+// store is closed. Close is idempotent.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closing = true
+	m.mu.Unlock()
+	m.cancel()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		m.closeSubsLocked(j)
+	}
+	m.mu.Unlock()
+	if cerr := m.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,36 @@
+package jobs
+
+// jobHeap orders queued jobs: higher priority first, FIFO (submission
+// sequence) within one priority. It implements container/heap.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].spec.Priority != h[j].spec.Priority {
+		return h[i].spec.Priority > h[j].spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
+}

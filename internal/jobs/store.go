@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// StoreRecord is one event of a job's durable history. Two record
+// types exist: "submit" carries the full spec, "status" carries a
+// lifecycle transition (terminal ones also carry the final progress
+// and, for done, the result).
+type StoreRecord struct {
+	Type string    `json:"type"` // "submit" | "status"
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+	// submit:
+	Spec *Spec `json:"spec,omitempty"`
+	// status:
+	Status   Status    `json:"status,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+}
+
+const (
+	recordSubmit = "submit"
+	recordStatus = "status"
+)
+
+// Store persists job history for crash recovery. Append must be
+// durable before it returns; Replay streams the records present when
+// the store was opened, in append order — it is called once, at
+// manager startup, and implementations may release the history
+// afterwards. Implementations must be safe for concurrent Appends.
+type Store interface {
+	Append(rec StoreRecord) error
+	Replay(fn func(rec StoreRecord) error) error
+	Close() error
+}
+
+// MemStore is an in-memory Store: records survive manager restarts
+// within one process (tests, embedding) but not process crashes.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []StoreRecord
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+func (s *MemStore) Append(rec StoreRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+func (s *MemStore) Replay(fn func(rec StoreRecord) error) error {
+	s.mu.Lock()
+	recs := append([]StoreRecord(nil), s.recs...)
+	s.mu.Unlock()
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is an append-only JSONL Store. Opening reads the existing
+// records (tolerating a truncated final line, the signature of a crash
+// mid-append); Append writes one JSON line and syncs it to disk before
+// returning, so acknowledged transitions survive a kill.
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	loaded []StoreRecord
+}
+
+// NewFileStore opens (creating if needed) the JSONL store at path.
+func NewFileStore(path string) (*FileStore, error) {
+	loaded, err := readRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	return &FileStore{f: f, loaded: loaded}, nil
+}
+
+// readRecords decodes the JSONL file at path. Decoding stops at the
+// first malformed record: a crash mid-append leaves a truncated tail,
+// and everything before it is still valid history.
+func readRecords(path string) ([]StoreRecord, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read store: %w", err)
+	}
+	var recs []StoreRecord
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var rec StoreRecord
+		if err := dec.Decode(&rec); err != nil {
+			// io.EOF ends a clean file; any other error is a
+			// truncated or corrupt tail. Keep the valid prefix
+			// either way.
+			return recs, nil
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func (s *FileStore) Append(rec StoreRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("jobs: store closed")
+	}
+	if _, err := s.f.Write(data); err != nil {
+		return fmt.Errorf("jobs: append store: %w", err)
+	}
+	return s.f.Sync()
+}
+
+func (s *FileStore) Replay(fn func(rec StoreRecord) error) error {
+	s.mu.Lock()
+	loaded := s.loaded
+	// Replay is single-shot: drop the loaded history so a long-lived
+	// store does not hold a duplicate in-memory copy of every result
+	// (the manager keeps the live ones).
+	s.loaded = nil
+	s.mu.Unlock()
+	for _, rec := range loaded {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []StoreRecord{
+		{Type: recordSubmit, ID: "j-1", Time: time.Now().UTC(), Spec: &Spec{Kind: KindOptimize, Priority: 3}},
+		{Type: recordStatus, ID: "j-1", Time: time.Now().UTC(), Status: StatusRunning},
+		{Type: recordStatus, ID: "j-1", Time: time.Now().UTC(), Status: StatusDone,
+			Progress: &Progress{Total: 1, Completed: 1}, Result: &Result{}},
+	}
+	for _, rec := range recs {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got []StoreRecord
+	if err := s2.Replay(func(rec StoreRecord) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, rec := range got {
+		if rec.Type != recs[i].Type || rec.ID != recs[i].ID || rec.Status != recs[i].Status {
+			t.Errorf("record %d: got (%s %s %s), want (%s %s %s)",
+				i, rec.Type, rec.ID, rec.Status, recs[i].Type, recs[i].ID, recs[i].Status)
+		}
+	}
+	if got[0].Spec == nil || got[0].Spec.Priority != 3 {
+		t.Errorf("submit record lost its spec: %+v", got[0].Spec)
+	}
+	if got[2].Progress == nil || got[2].Progress.Completed != 1 {
+		t.Errorf("terminal record lost its progress: %+v", got[2].Progress)
+	}
+}
+
+// TestFileStoreTruncatedTail: a crash mid-append leaves a partial
+// final line; opening the store keeps the valid prefix.
+func TestFileStoreTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(StoreRecord{Type: recordSubmit, ID: "j-1", Spec: &Spec{Kind: KindOptimize}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"status","id":"j-1","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var n int
+	if err := s2.Replay(func(StoreRecord) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("replayed %d records after truncated tail, want 1", n)
+	}
+}
+
+func TestMemStoreReplay(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Append(StoreRecord{Type: recordSubmit, ID: "a", Spec: &Spec{Kind: KindSweep}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(StoreRecord{Type: recordStatus, ID: "a", Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	if err := s.Replay(func(rec StoreRecord) error {
+		ids = append(ids, rec.ID+"/"+rec.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "a/submit" || ids[1] != "a/status" {
+		t.Errorf("replay order %v", ids)
+	}
+}
