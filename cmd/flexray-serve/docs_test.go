@@ -1,0 +1,31 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagDocsDrift is the docs-drift guard: every flag registered by
+// flexray-serve must appear (as `-name`) in the README and in the
+// OPERATIONS.md flag reference. Adding a flag without documenting it
+// fails CI; so does renaming one and leaving the old docs behind.
+func TestFlagDocsDrift(t *testing.T) {
+	fs := flag.NewFlagSet("flexray-serve", flag.ContinueOnError)
+	registerFlags(fs)
+	for _, doc := range []string{"README.md", "OPERATIONS.md"} {
+		path := filepath.Join("..", "..", doc)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		text := string(data)
+		fs.VisitAll(func(f *flag.Flag) {
+			if !strings.Contains(text, "`-"+f.Name+"`") {
+				t.Errorf("%s omits flexray-serve flag `-%s` (%s)", doc, f.Name, f.Usage)
+			}
+		})
+	}
+}

@@ -43,10 +43,20 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
 }
 
+// missingStatus maps a lookup failure onto its status code: 410 Gone
+// for a job the retention policy evicted (it existed; its result is
+// gone for good — do not retry), 404 otherwise.
+func missingStatus(err error) int {
+	if errors.Is(err, jobs.ErrEvicted) {
+		return http.StatusGone
+	}
+	return http.StatusNotFound
+}
+
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
+		httpError(w, missingStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -57,8 +67,8 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
-	case errors.Is(err, jobs.ErrNotFound):
-		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, jobs.ErrEvicted):
+		httpError(w, missingStatus(err), err.Error())
 	case errors.Is(err, jobs.ErrNotFinished):
 		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s, not finished", job.Status))
 	default: // failed or cancelled: no payload to serve
@@ -71,8 +81,8 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, job)
-	case errors.Is(err, jobs.ErrNotFound):
-		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, jobs.ErrEvicted):
+		httpError(w, missingStatus(err), err.Error())
 	default: // already terminal
 		httpError(w, http.StatusConflict, err.Error())
 	}
@@ -85,7 +95,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	snap, ch, cancel, err := s.jobs.Subscribe(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
+		httpError(w, missingStatus(err), err.Error())
 		return
 	}
 	defer cancel()

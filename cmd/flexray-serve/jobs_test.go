@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -314,6 +315,123 @@ func TestServerRestartResumesJobs(t *testing.T) {
 		t.Error("finished job's result drifted across restart")
 	}
 	// Queued job resumes and completes with the full record set.
+	pollJob(t, ts2, pending.ID, jobs.StatusDone)
+	resp, body = get(t, ts2, "/v1/jobs/"+pending.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed result: %d: %s", resp.StatusCode, body)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4 {
+		t.Errorf("resumed campaign has %d records, want 4", len(res.Records))
+	}
+}
+
+// TestServerRetentionCompactionRestart is the retention acceptance
+// pin: a server with a one-job retention policy evicts the oldest
+// finished job (410 Gone over HTTP), a shutdown mid-campaign compacts
+// the store down to live state, and a restart against the compacted
+// file serves the retained result, keeps answering 410 for the
+// evicted one, and resumes the interrupted job.
+func TestServerRetentionCompactionRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	open := func() (*server, *httptest.Server) {
+		store, err := jobs.NewFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := newServer(serverConfig{
+			Workers: 1, MaxConcurrent: 2, Timeout: time.Minute,
+			JobStore: store, JobWorkers: 1,
+			JobRetention: jobs.RetentionPolicy{MaxTerminal: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, httptest.NewServer(s)
+	}
+
+	s1, ts1 := open()
+	evictee := submitJob(t, ts1, campaignSpec([]int{2}, 1, 3))
+	pollJob(t, ts1, evictee.ID, jobs.StatusDone)
+	kept := submitJob(t, ts1, campaignSpec([]int{2}, 1, 5))
+	pollJob(t, ts1, kept.ID, jobs.StatusDone)
+
+	// The kept job's terminal transition pushes the older one over the
+	// MaxTerminal=1 limit; eviction lands just after the transition is
+	// visible, so poll for the 410.
+	waitGone := func(ts *httptest.Server) {
+		t.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for {
+			resp, body := get(t, ts, "/v1/jobs/"+evictee.ID)
+			if resp.StatusCode == http.StatusGone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("evicted job still %d: %s", resp.StatusCode, body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if resp, _ := get(t, ts, "/v1/jobs/"+evictee.ID+"/result"); resp.StatusCode != http.StatusGone {
+			t.Errorf("evicted result: %d, want 410", resp.StatusCode)
+		}
+		if resp, _ := get(t, ts, "/v1/jobs/"+evictee.ID+"/events"); resp.StatusCode != http.StatusGone {
+			t.Errorf("evicted events: %d, want 410", resp.StatusCode)
+		}
+	}
+	waitGone(ts1)
+	// The retained job still lists and serves its result.
+	_, wantBody := get(t, ts1, "/v1/jobs/"+kept.ID+"/result")
+
+	// Go down mid-campaign: the pending job is queued or running.
+	pending := submitJob(t, ts1, campaignSpec([]int{2, 3}, 2, 4))
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shutdown compacted the store to live state: one tombstone, the
+	// kept job (submit + done with result), the checkpointed pending
+	// job (submit, possibly + a superseded running record). The
+	// evictee's fat result is gone from disk; its ID survives only in
+	// the tombstone line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines < 4 || lines > 5 {
+		t.Errorf("compacted store has %d records, want 4-5 (live state only)", lines)
+	}
+	if n := bytes.Count(data, []byte(evictee.ID)); n != 1 {
+		t.Errorf("evicted job appears %d times in the compacted store, want 1 (tombstone)", n)
+	}
+	if !bytes.Contains(data, []byte(`"type":"evict"`)) {
+		t.Error("compacted store lost the eviction tombstone")
+	}
+
+	s2, ts2 := open()
+	defer func() {
+		ts2.Close()
+		if err := s2.Close(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Retained result byte-identical across the compacted restart.
+	resp, body := get(t, ts2, "/v1/jobs/"+kept.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retained result after restart: %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, wantBody) {
+		t.Error("retained result drifted across the compacted restart")
+	}
+	// Eviction survives the restart.
+	waitGone(ts2)
+	// The interrupted job resumes from the snapshot and completes.
 	pollJob(t, ts2, pending.ID, jobs.StatusDone)
 	resp, body = get(t, ts2, "/v1/jobs/"+pending.ID+"/result")
 	if resp.StatusCode != http.StatusOK {

@@ -8,6 +8,8 @@
 //	flexray-serve [-addr :8080] [-workers N] [-max-concurrent M]
 //	              [-timeout 2m] [-max-body 8388608] [-pprof]
 //	              [-store jobs.jsonl] [-job-workers N] [-queue-cap N]
+//	              [-retain-jobs N] [-retain-age D] [-retain-bytes N]
+//	              [-compact-interval D]
 //
 // Synchronous endpoints:
 //
@@ -43,6 +45,12 @@
 // SIGINT/SIGTERM drain in-flight work before exiting; with a -store
 // file, queued and running jobs are checkpointed so a restarted server
 // resumes them and keeps serving finished results.
+//
+// The -retain-* flags bound terminal-job state (oldest evicted first;
+// evicted IDs answer 410 Gone) and -compact-interval periodically
+// rewrites the -store file to live state — shutdown always compacts —
+// so neither memory nor the store grows with history. See
+// OPERATIONS.md for the production tuning guide.
 package main
 
 import (
@@ -74,43 +82,79 @@ import (
 	"repro/internal/sim"
 )
 
+// serveOptions collect every operator-facing flag of flexray-serve.
+// The flags are registered through registerFlags so the docs-drift
+// test can enumerate them against the README and OPERATIONS.md flag
+// reference tables.
+type serveOptions struct {
+	addr            string
+	workers         int
+	maxConc         int
+	timeout         time.Duration
+	maxBody         int64
+	pprofOn         bool
+	store           string
+	jobWorkers      int
+	queueCap        int
+	retainJobs      int
+	retainAge       time.Duration
+	retainBytes     int64
+	compactInterval time.Duration
+}
+
+// registerFlags declares the flexray-serve flag set on fs; main passes
+// flag.CommandLine, tests pass a throwaway set.
+func registerFlags(fs *flag.FlagSet) *serveOptions {
+	o := &serveOptions{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.workers, "workers", 0, "evaluation workers per request (0 = GOMAXPROCS)")
+	fs.IntVar(&o.maxConc, "max-concurrent", 2, "heavy requests served at once (excess gets 503)")
+	fs.DurationVar(&o.timeout, "timeout", 2*time.Minute, "per-request wall-clock budget")
+	fs.Int64Var(&o.maxBody, "max-body", 8<<20, "request body size cap in bytes")
+	fs.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the evaluation sessions)")
+	fs.StringVar(&o.store, "store", "", "append-only JSONL job store; empty keeps jobs in memory only")
+	fs.IntVar(&o.jobWorkers, "job-workers", 2, "async jobs executed concurrently")
+	fs.IntVar(&o.queueCap, "queue-cap", 64, "queued async jobs before submissions are shed")
+	fs.IntVar(&o.retainJobs, "retain-jobs", 0, "terminal jobs retained before the oldest are evicted (0 = unlimited)")
+	fs.DurationVar(&o.retainAge, "retain-age", 0, "terminal jobs finished longer ago than this are evicted (0 = unlimited)")
+	fs.Int64Var(&o.retainBytes, "retain-bytes", 0, "total encoded job-result bytes retained before the oldest results are evicted (0 = unlimited)")
+	fs.DurationVar(&o.compactInterval, "compact-interval", 0, "rewrite the -store file to live state this often (0 = only at shutdown)")
+	return o
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "evaluation workers per request (0 = GOMAXPROCS)")
-		maxConc  = flag.Int("max-concurrent", 2, "heavy requests served at once (excess gets 503)")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request wall-clock budget")
-		maxBody  = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the evaluation sessions)")
-		storeP   = flag.String("store", "", "append-only JSONL job store; empty keeps jobs in memory only")
-		jobWork  = flag.Int("job-workers", 2, "async jobs executed concurrently")
-		queueCap = flag.Int("queue-cap", 64, "queued async jobs before submissions are shed")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
 	var store jobs.Store
-	if *storeP != "" {
-		fs, err := jobs.NewFileStore(*storeP)
+	if o.store != "" {
+		fs, err := jobs.NewFileStore(o.store)
 		if err != nil {
 			log.Fatalf("flexray-serve: %v", err)
 		}
 		store = fs
 	}
 	s, err := newServer(serverConfig{
-		Workers:       *workers,
-		MaxConcurrent: *maxConc,
-		Timeout:       *timeout,
-		MaxBody:       *maxBody,
-		Pprof:         *pprofOn,
+		Workers:       o.workers,
+		MaxConcurrent: o.maxConc,
+		Timeout:       o.timeout,
+		MaxBody:       o.maxBody,
+		Pprof:         o.pprofOn,
 		JobStore:      store,
-		JobWorkers:    *jobWork,
-		JobQueueCap:   *queueCap,
+		JobWorkers:    o.jobWorkers,
+		JobQueueCap:   o.queueCap,
+		JobRetention: jobs.RetentionPolicy{
+			MaxTerminal:    o.retainJobs,
+			MaxAge:         o.retainAge,
+			MaxResultBytes: o.retainBytes,
+		},
+		JobCompactInterval: o.compactInterval,
 	})
 	if err != nil {
 		log.Fatalf("flexray-serve: %v", err)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              o.addr,
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -120,7 +164,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("flexray-serve: listening on %s (workers=%d, max-concurrent=%d)",
-		*addr, effectiveWorkers(*workers), *maxConc)
+		o.addr, effectiveWorkers(o.workers), o.maxConc)
 
 	select {
 	case err := <-errc:
@@ -164,6 +208,12 @@ type serverConfig struct {
 	// JobWorkers/JobQueueCap size the async job manager.
 	JobWorkers  int
 	JobQueueCap int
+	// JobRetention bounds retained terminal jobs (the -retain-*
+	// flags); the zero value retains everything.
+	JobRetention jobs.RetentionPolicy
+	// JobCompactInterval triggers periodic store compaction
+	// (-compact-interval); graceful shutdown always compacts.
+	JobCompactInterval time.Duration
 }
 
 // server carries the shared request-shaping state; it implements
@@ -196,9 +246,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		started: time.Now(),
 	}
 	mgr, err := jobs.NewManager(cfg.JobStore, jobs.ManagerOptions{
-		Workers:     cfg.JobWorkers,
-		QueueCap:    cfg.JobQueueCap,
-		EvalWorkers: effectiveWorkers(cfg.Workers),
+		Workers:         cfg.JobWorkers,
+		QueueCap:        cfg.JobQueueCap,
+		EvalWorkers:     effectiveWorkers(cfg.Workers),
+		Retention:       cfg.JobRetention,
+		CompactInterval: cfg.JobCompactInterval,
 	})
 	if err != nil {
 		return nil, err

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cruise"
+	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/synth"
 )
@@ -329,6 +331,65 @@ func TestHealthz(t *testing.T) {
 	if payload.Engine == nil || payload.Jobs == nil {
 		t.Errorf("healthz payload missing engine/jobs sections: engine=%v jobs=%v",
 			payload.Engine != nil, payload.Jobs != nil)
+	}
+}
+
+// TestHealthzStoreStats: with a -store file, /healthz reports the
+// store's on-disk size and, after a compaction, its timestamp and
+// count — the signals operators alert on for unbounded growth.
+func TestHealthzStoreStats(t *testing.T) {
+	store, err := jobs.NewFileStore(filepath.Join(t.TempDir(), "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(serverConfig{
+		Workers: 1, MaxConcurrent: 2, Timeout: time.Minute,
+		JobStore: store, JobWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close(context.Background())
+	})
+
+	job := submitJob(t, ts, campaignSpec([]int{2}, 1, 3))
+	pollJob(t, ts, job.ID, jobs.StatusDone)
+
+	health := func() jobs.ManagerStats {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var payload struct {
+			Jobs jobs.ManagerStats `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		return payload.Jobs
+	}
+	st := health()
+	if st.Store.SizeBytes <= 0 {
+		t.Errorf("healthz store size %d, want > 0 with a file store", st.Store.SizeBytes)
+	}
+	if st.Store.Compactions != 0 || !st.Store.LastCompaction.IsZero() {
+		t.Errorf("compaction stats before any compaction: %+v", st.Store)
+	}
+	if st.ResultBytes <= 0 {
+		t.Errorf("healthz result_bytes %d, want > 0 after a finished job", st.ResultBytes)
+	}
+
+	if err := s.jobs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = health()
+	if st.Store.Compactions != 1 || st.Store.LastCompaction.IsZero() {
+		t.Errorf("compaction stats after Compact: %+v", st.Store)
 	}
 }
 

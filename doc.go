@@ -113,10 +113,33 @@
 // stopped manager resumes interrupted jobs and still serves the
 // results of finished ones.
 //
+// # Retention and compaction
+//
+// Long-lived managers bound their footprint on two axes. A
+// JobRetention policy in JobManagerOptions evicts terminal jobs —
+// deterministically oldest-finished first, submission order on ties —
+// when any of three limits is exceeded: a terminal-job count, a
+// maximum age, or a budget on the summed encoded size of retained
+// results (which skips result-less failed/cancelled jobs). Evicted
+// IDs answer ErrJobEvicted rather than not-found (flexray-serve maps
+// it to 410 Gone), durably across restarts for the most recent 1024
+// evictions. Store compaction — periodic via
+// JobManagerOptions.CompactInterval, always at Close, on demand via
+// JobManager.Compact — atomically rewrites the JSONL log to a
+// snapshot of live state (retained jobs plus eviction tombstones), so
+// startup replay cost is proportional to what is retained, not to
+// history; a crash mid-compact leaves the previous log intact. Both
+// are invisible to correctness: a manager restarted from a compacted
+// store serves retained results byte-identically and resumes
+// interrupted jobs exactly as one replaying the full history would.
+//
 // cmd/flexray-serve exposes the same pipeline as a JSON HTTP service:
 // POST /v1/optimize, /v1/analyze and /v1/simulate synchronously, with
 // bounded concurrency, body and time limits; and the job subsystem
 // under /v1/jobs (submit, list, poll, result, cancel, and live
 // progress via Server-Sent Events on /v1/jobs/{id}/events), with
-// graceful shutdown checkpointing outstanding jobs to the -store file.
+// graceful shutdown checkpointing outstanding jobs to the -store file
+// and the -retain-*/-compact-interval flags bounding store and memory
+// growth. OPERATIONS.md is the operator-facing guide: store sizing,
+// retention tuning, crash-recovery semantics, alerting.
 package flexopt

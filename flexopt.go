@@ -278,10 +278,19 @@ type (
 	// executing async jobs; it is what flexray-serve exposes under
 	// /v1/jobs.
 	JobManager = jobs.Manager
-	// JobManagerOptions size the worker pool and the queue.
+	// JobManagerOptions size the worker pool and the queue, and carry
+	// the retention policy and compaction interval.
 	JobManagerOptions = jobs.ManagerOptions
-	// JobManagerStats snapshot job counts and engine totals.
+	// JobManagerStats snapshot job counts, retention/store counters
+	// and engine totals.
 	JobManagerStats = jobs.ManagerStats
+	// JobRetention bounds the terminal jobs a manager retains; the
+	// zero value keeps everything. Eviction is deterministic: oldest
+	// FinishedAt first, submission order on ties.
+	JobRetention = jobs.RetentionPolicy
+	// JobStoreStats snapshot the durable store (size on disk,
+	// compaction count, last compaction time) for operators.
+	JobStoreStats = jobs.StoreStats
 	// JobSpec describes one job: kind, payload, priority and knobs.
 	JobSpec = jobs.Spec
 	// JobPopulation is a campaign job's input set (synthesised or
@@ -318,10 +327,20 @@ const (
 	JobCancelled = jobs.StatusCancelled
 )
 
+// ErrJobEvicted marks a job the manager's retention policy dropped:
+// it existed and finished, but its snapshot and result are gone for
+// good (flexray-serve answers 410 Gone). Distinct from the not-found
+// error an unknown ID yields.
+var ErrJobEvicted = jobs.ErrEvicted
+
 // NewJobManager builds a job manager over the given store (nil keeps
 // jobs in memory), replaying the store's history — finished jobs come
 // back with their results, interrupted ones are re-enqueued — and
-// starting the worker pool. Close it to checkpoint outstanding work.
+// starting the worker pool. Close it to checkpoint outstanding work;
+// with a compacting store (NewJobFileStore), Close also rewrites the
+// log to live state so the next startup replays the snapshot, not
+// history. A JobRetention policy in the options bounds terminal-job
+// state; JobManager.Compact forces a store rewrite on demand.
 func NewJobManager(store JobStore, opts JobManagerOptions) (*JobManager, error) {
 	return jobs.NewManager(store, opts)
 }
@@ -331,4 +350,8 @@ func NewJobMemStore() JobStore { return jobs.NewMemStore() }
 
 // NewJobFileStore opens (creating if needed) the append-only JSONL job
 // store at path; a manager built over it resumes the recorded state.
+// The store supports compaction (periodic via JobManagerOptions.
+// CompactInterval, always at Close): the log is atomically rewritten
+// to a snapshot of live state, so it grows with the live job set and
+// the append tail, not with all history.
 func NewJobFileStore(path string) (JobStore, error) { return jobs.NewFileStore(path) }

@@ -8,7 +8,12 @@
 // event stream per job. A pluggable Store makes jobs durable: the
 // append-only JSONL FileStore replays on startup, so a restarted
 // manager resumes its queued jobs and still serves the results of
-// finished ones.
+// finished ones. A RetentionPolicy bounds the terminal jobs a manager
+// keeps (deterministic oldest-first eviction, 410-style ErrEvicted
+// for dropped IDs) and store compaction rewrites the log to live
+// state, so neither memory nor the store grows with history; the
+// record grammar and the replay/compaction invariants are documented
+// in store.go.
 package jobs
 
 import (
@@ -347,9 +352,13 @@ type Event struct {
 // Errors returned by the manager; the HTTP layer maps them onto status
 // codes.
 var (
-	ErrQueueFull   = errors.New("jobs: queue full")
-	ErrClosed      = errors.New("jobs: manager closed")
-	ErrNotFound    = errors.New("jobs: no such job")
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrClosed    = errors.New("jobs: manager closed")
+	ErrNotFound  = errors.New("jobs: no such job")
+	// ErrEvicted marks a job the retention policy dropped: it existed
+	// and finished, but its snapshot and result are gone for good
+	// (the HTTP layer answers 410 Gone, not 404).
+	ErrEvicted     = errors.New("jobs: job evicted by retention")
 	ErrNotFinished = errors.New("jobs: job not finished")
 	ErrTerminal    = errors.New("jobs: job already finished")
 	ErrNoResult    = errors.New("jobs: job produced no result")

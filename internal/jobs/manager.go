@@ -5,11 +5,13 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -28,8 +30,18 @@ type ManagerOptions struct {
 	// EvalWorkers is the per-job evaluation parallelism used when a
 	// spec does not set its own; <= 0 selects 1.
 	EvalWorkers int
+	// Retention bounds the terminal jobs (and their results) the
+	// manager keeps; the zero value retains everything for the
+	// manager's lifetime. See RetentionPolicy for the eviction order.
+	Retention RetentionPolicy
+	// CompactInterval triggers periodic store compaction: every
+	// interval with new records appended, the store is rewritten to a
+	// snapshot of live state. <= 0 compacts only at Close. Only
+	// effective when the store implements Compactor (FileStore and
+	// MemStore both do).
+	CompactInterval time.Duration
 	// Logf receives operational messages (store append failures,
-	// replay summaries); nil selects log.Printf.
+	// replay summaries, compaction outcomes); nil selects log.Printf.
 	Logf func(format string, args ...any)
 }
 
@@ -50,15 +62,35 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 }
 
 // ManagerStats snapshot the manager for operators: job counts per
-// lifecycle state plus the evaluation-engine counters accumulated
-// across every job the manager ran.
+// lifecycle state, retention and store counters, plus the
+// evaluation-engine counters accumulated across every job the manager
+// ran.
 type ManagerStats struct {
-	Queued    int                  `json:"queued"`
-	Running   int                  `json:"running"`
-	Done      int                  `json:"done"`
-	Failed    int                  `json:"failed"`
-	Cancelled int                  `json:"cancelled"`
-	Engine    campaign.EngineStats `json:"engine"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Evicted counts retention evictions since the manager started.
+	Evicted int64 `json:"evicted"`
+	// ResultBytes is the summed encoded size of retained results —
+	// the quantity RetentionPolicy.MaxResultBytes bounds.
+	ResultBytes int64                `json:"result_bytes"`
+	Store       StoreStats           `json:"store"`
+	Engine      campaign.EngineStats `json:"engine"`
+}
+
+// StoreStats snapshot the durable store for operators: alert on
+// SizeBytes (or a stale LastCompaction) to catch unbounded growth.
+type StoreStats struct {
+	// Compactions counts store rewrites since the manager started.
+	Compactions int64 `json:"compactions"`
+	// LastCompaction is the time of the latest rewrite; zero when
+	// none happened yet.
+	LastCompaction time.Time `json:"last_compaction,omitzero"`
+	// SizeBytes is the store's on-disk footprint; -1 when the store
+	// does not report one (MemStore, custom stores without Sizer).
+	SizeBytes int64 `json:"size_bytes"`
 }
 
 // job is the manager-internal state of one job; every field is guarded
@@ -79,7 +111,10 @@ type job struct {
 	cancel     context.CancelFunc // non-nil while running
 	userCancel bool
 	result     *Result
-	subs       map[*subscriber]struct{}
+	// resultBytes is the encoded size of result, charged against
+	// RetentionPolicy.MaxResultBytes while the job is retained.
+	resultBytes int64
+	subs        map[*subscriber]struct{}
 }
 
 func (j *job) snapshot() Job {
@@ -105,11 +140,22 @@ type subscriber struct {
 
 // Manager owns the queue, the worker pool and the durable store.
 //
-// Terminal jobs (and their results) are retained for the manager's
-// lifetime so results stay fetchable; the QueueCap bound applies to
-// pending work only. Long-lived deployments with sustained submission
-// rates should recycle the store periodically — retention limits and
-// store compaction are tracked on the roadmap.
+// Without a retention policy, terminal jobs (and their results) are
+// retained for the manager's lifetime so results stay fetchable; the
+// QueueCap bound applies to pending work only. With one, the oldest
+// terminal jobs are evicted as the limits are exceeded and their IDs
+// answer ErrEvicted. With a CompactInterval (or at Close), the store
+// is periodically rewritten to a snapshot of live state, so a
+// restart's replay cost is proportional to live jobs, not history.
+//
+// Replay/compaction invariants: replay applies records in order and
+// tolerates duplicates (later status records supersede earlier ones);
+// a compaction snapshot replays to exactly the live state, so records
+// appended after it — including duplicates of transitions the
+// snapshot already covers — apply cleanly on top. The gate lock
+// guarantees a snapshot never misses an acknowledged record: every
+// state-change-plus-append pair holds it shared, Compact holds it
+// exclusively across snapshot and rewrite.
 type Manager struct {
 	opts   ManagerOptions
 	store  Store
@@ -117,6 +163,16 @@ type Manager struct {
 	cancel context.CancelFunc
 	wake   chan struct{}
 	wg     sync.WaitGroup
+
+	// gate serialises store compaction against the in-memory
+	// transition + durable append pairs: those hold it shared (RLock,
+	// around both halves), Compact holds it exclusively while it
+	// snapshots live state and rewrites the store — so no append ever
+	// races the rewrite and gets lost. Lock order: gate before mu.
+	gate sync.RWMutex
+	// dirty counts appends since the last compaction; a no-op
+	// compaction (nothing appended) is skipped.
+	dirty atomic.Int64
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -127,6 +183,15 @@ type Manager struct {
 	// flight; they hold a queue slot so the capacity bound stays
 	// exact while the fsync happens outside the manager lock.
 	reserved int
+	// evicted/tombs remember retention-evicted IDs (bounded by
+	// maxTombstones) so they answer ErrEvicted, not ErrNotFound.
+	evicted map[string]struct{}
+	tombs   []tombstone
+	// evictions/resultBytes/compactions/lastCompact back ManagerStats.
+	evictions   int64
+	resultBytes int64
+	compactions int64
+	lastCompact time.Time
 
 	engine campaign.EngineCounters
 }
@@ -142,23 +207,79 @@ func NewManager(store Store, opts ManagerOptions) (*Manager, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		opts:   opts,
-		store:  store,
-		ctx:    ctx,
-		cancel: cancel,
-		wake:   make(chan struct{}, opts.Workers),
-		jobs:   map[string]*job{},
+		opts:    opts,
+		store:   store,
+		ctx:     ctx,
+		cancel:  cancel,
+		wake:    make(chan struct{}, opts.Workers),
+		jobs:    map[string]*job{},
+		evicted: map[string]struct{}{},
 	}
 	if err := m.replay(); err != nil {
 		cancel()
 		return nil, err
 	}
+	// Replayed state may exceed a (new or tightened) retention policy.
+	m.applyRetention()
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if tick := m.janitorTick(); tick > 0 {
+		m.wg.Add(1)
+		go m.janitor(tick)
+	}
 	m.signal(len(m.queue))
 	return m, nil
+}
+
+// janitorTick picks the period of the background janitor: the
+// compaction interval, tightened so age-based eviction lags its
+// deadline by at most a quarter of MaxAge; 0 disables the janitor
+// (retention still applies on every terminal transition, compaction
+// still runs at Close).
+func (m *Manager) janitorTick() time.Duration {
+	tick := m.opts.CompactInterval
+	if age := m.opts.Retention.MaxAge; age > 0 {
+		quarter := age / 4
+		if quarter < 10*time.Millisecond {
+			quarter = 10 * time.Millisecond
+		}
+		if tick <= 0 || quarter < tick {
+			tick = quarter
+		}
+	}
+	return tick
+}
+
+// janitor periodically enforces age-based retention and, when a
+// CompactInterval is set, compacts the store.
+func (m *Manager) janitor(tick time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var sinceCompact time.Duration
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+		m.applyRetention()
+		if ci := m.opts.CompactInterval; ci > 0 {
+			if sinceCompact += tick; sinceCompact >= ci {
+				sinceCompact = 0
+				// An idle period appends nothing; rewriting an
+				// unchanged store would be pure fsync churn.
+				if m.dirty.Load() == 0 {
+					continue
+				}
+				if err := m.Compact(); err != nil {
+					m.opts.Logf("jobs: periodic compaction: %v", err)
+				}
+			}
+		}
+	}
 }
 
 // replay rebuilds the job table from the store. A job whose last
@@ -166,7 +287,9 @@ func NewManager(store Store, opts ManagerOptions) (*Manager, error) {
 // goes back to the queue, progress reset, exactly as a graceful
 // shutdown would have checkpointed it.
 func (m *Manager) replay() error {
+	var replayed int
 	err := m.store.Replay(func(rec StoreRecord) error {
+		replayed++
 		switch rec.Type {
 		case recordSubmit:
 			if rec.ID == "" || rec.Spec == nil {
@@ -193,8 +316,12 @@ func (m *Manager) replay() error {
 			if rec.Progress != nil {
 				j.progress = *rec.Progress
 			}
-			if rec.Result != nil {
-				j.result = rec.Result
+			j.result = rec.Result
+			// Records written before the result_bytes field carry 0;
+			// only then is the result re-measured.
+			j.resultBytes = rec.ResultBytes
+			if j.resultBytes == 0 {
+				j.resultBytes = resultSize(rec.Result)
 			}
 			switch rec.Status {
 			case StatusQueued:
@@ -204,6 +331,12 @@ func (m *Manager) replay() error {
 			default:
 				j.finishedAt = rec.Time
 			}
+		case recordEvict:
+			if rec.ID == "" {
+				return nil
+			}
+			delete(m.jobs, rec.ID)
+			m.tombstoneLocked(rec.ID, rec.Time)
 		}
 		return nil
 	})
@@ -221,7 +354,13 @@ func (m *Manager) replay() error {
 		}
 		if j.status.Terminal() {
 			m.engine.Add(j.progress.Engine)
+			m.resultBytes += j.resultBytes
 		}
+	}
+	if replayed > 0 {
+		// A replayed log is worth compacting at least once even if
+		// nothing new is ever appended.
+		m.dirty.Store(int64(replayed))
 	}
 	sort.Slice(resumed, func(a, b int) bool { return resumed[a].seq < resumed[b].seq })
 	for _, j := range resumed {
@@ -290,15 +429,22 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	// The durable append — an fsync on the file store — runs outside
 	// the manager lock so a slow disk never blocks reads or running
 	// jobs' progress updates; the reservation above keeps the queue
-	// bound exact meanwhile.
+	// bound exact meanwhile. The gate (held shared across append and
+	// insert) keeps a concurrent compaction from rewriting the store
+	// after the append but before the job is visible to its snapshot.
+	m.gate.RLock()
 	err := m.store.Append(StoreRecord{
 		Type: recordSubmit, ID: j.id, Time: j.submittedAt, Spec: &spec,
 	})
+	if err == nil {
+		m.dirty.Add(1)
+	}
 
 	m.mu.Lock()
 	m.reserved--
 	if err != nil {
 		m.mu.Unlock()
+		m.gate.RUnlock()
 		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	// A Close that raced the append has already swept the job table;
@@ -308,19 +454,30 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	heap.Push(&m.queue, j)
 	snap := j.snapshot()
 	m.mu.Unlock()
+	m.gate.RUnlock()
 	m.signal(1)
 	return snap, nil
 }
 
-// Get returns the snapshot of one job.
+// Get returns the snapshot of one job. Retention-evicted jobs answer
+// ErrEvicted for as long as their tombstone is retained.
 func (m *Manager) Get(id string) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j := m.jobs[id]
 	if j == nil {
-		return Job{}, ErrNotFound
+		return Job{}, m.missingLocked(id)
 	}
 	return j.snapshot(), nil
+}
+
+// missingLocked distinguishes a job that never existed from one the
+// retention policy evicted.
+func (m *Manager) missingLocked(id string) error {
+	if _, ok := m.evicted[id]; ok {
+		return ErrEvicted
+	}
+	return ErrNotFound
 }
 
 // List returns job snapshots in submission order, optionally filtered
@@ -350,7 +507,7 @@ func (m *Manager) Result(id string) (*Result, Job, error) {
 	defer m.mu.Unlock()
 	j := m.jobs[id]
 	if j == nil {
-		return nil, Job{}, ErrNotFound
+		return nil, Job{}, m.missingLocked(id)
 	}
 	snap := j.snapshot()
 	switch {
@@ -366,17 +523,33 @@ func (m *Manager) Result(id string) (*Result, Job, error) {
 // one is cancelled cooperatively (its engine drains and the worker
 // marks it cancelled). Terminal jobs fail with ErrTerminal.
 func (m *Manager) Cancel(id string) (Job, error) {
+	snap, evict, err := m.cancelJob(id)
+	if evict {
+		m.applyRetention()
+	}
+	return snap, err
+}
+
+// cancel holds the gate shared across the cancellation's state change
+// and its store record, so a concurrent compaction snapshot never
+// misses either; evict reports whether a terminal transition happened
+// (the caller applies retention after the gate is released — taking
+// it again while held would deadlock against a waiting Compact).
+func (m *Manager) cancelJob(id string) (snap Job, evict bool, err error) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	m.mu.Lock()
 	j := m.jobs[id]
 	if j == nil {
+		err := m.missingLocked(id)
 		m.mu.Unlock()
-		return Job{}, ErrNotFound
+		return Job{}, false, err
 	}
 	switch {
 	case j.status.Terminal():
 		snap := j.snapshot()
 		m.mu.Unlock()
-		return snap, ErrTerminal
+		return snap, false, ErrTerminal
 	case j.status == StatusQueued:
 		// A shutdown-checkpointed job is queued but no longer on the
 		// heap (heapIdx -1); only remove what the heap still holds.
@@ -384,11 +557,11 @@ func (m *Manager) Cancel(id string) (Job, error) {
 			heap.Remove(&m.queue, j.heapIdx)
 		}
 		j.userCancel = true
-		rec := m.finishLocked(j, StatusCancelled, "cancelled before start", nil)
+		rec := m.finishLocked(j, StatusCancelled, "cancelled before start", nil, 0)
 		snap := j.snapshot()
 		m.mu.Unlock()
 		m.appendStatus(rec)
-		return snap, nil
+		return snap, true, nil
 	default: // running
 		j.userCancel = true
 		if j.cancel != nil {
@@ -407,7 +580,7 @@ func (m *Manager) Cancel(id string) (Job, error) {
 		})
 		snap := j.snapshot()
 		m.mu.Unlock()
-		return snap, nil
+		return snap, false, nil
 	}
 }
 
@@ -422,7 +595,7 @@ func (m *Manager) Subscribe(id string) (Job, <-chan Event, func(), error) {
 	defer m.mu.Unlock()
 	j := m.jobs[id]
 	if j == nil {
-		return Job{}, nil, nil, ErrNotFound
+		return Job{}, nil, nil, m.missingLocked(id)
 	}
 	snap := j.snapshot()
 	ch := make(chan Event, 16)
@@ -466,24 +639,31 @@ func (m *Manager) closeSubsLocked(j *job) {
 	}
 }
 
-// appendStatus best-effort records a transition; a failing store is
-// logged, not fatal — the in-memory state stays authoritative.
+// appendStatus best-effort records a transition or eviction; a
+// failing store is logged, not fatal — the in-memory state stays
+// authoritative.
 func (m *Manager) appendStatus(rec StoreRecord) {
 	if err := m.store.Append(rec); err != nil {
-		m.opts.Logf("jobs: store append (%s %s): %v", rec.ID, rec.Status, err)
+		m.opts.Logf("jobs: store append (%s %s %s): %v", rec.Type, rec.ID, rec.Status, err)
+		return
 	}
+	m.dirty.Add(1)
 }
 
 // finishLocked moves a job to a terminal state and ends its event
-// streams. It returns the store record for the transition; the caller
+// streams. resBytes is the encoded size of res, precomputed by the
+// caller so large results are never marshalled under the manager
+// lock. It returns the store record for the transition; the caller
 // appends it after releasing the manager lock, so the file store's
 // fsync never stalls reads or other jobs' progress updates. Per-job
 // record order still holds: each job has a single writer (its worker,
 // or Cancel for a job no worker can reach).
-func (m *Manager) finishLocked(j *job, st Status, errMsg string, res *Result) StoreRecord {
+func (m *Manager) finishLocked(j *job, st Status, errMsg string, res *Result, resBytes int64) StoreRecord {
 	j.status = st
 	j.err = errMsg
 	j.result = res
+	j.resultBytes = resBytes
+	m.resultBytes += resBytes
 	j.finishedAt = time.Now()
 	j.cancel = nil
 	prog := j.progress
@@ -492,7 +672,21 @@ func (m *Manager) finishLocked(j *job, st Status, errMsg string, res *Result) St
 	return StoreRecord{
 		Type: recordStatus, ID: j.id, Time: j.finishedAt,
 		Status: st, Error: errMsg, Progress: &prog, Result: res,
+		ResultBytes: resBytes,
 	}
+}
+
+// resultSize is the encoded footprint a result is charged at against
+// RetentionPolicy.MaxResultBytes.
+func resultSize(res *Result) int64 {
+	if res == nil {
+		return 0
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
 }
 
 // worker executes queued jobs until the manager shuts down.
@@ -517,6 +711,8 @@ func (m *Manager) worker() {
 // startNext pops the highest-priority queued job and transitions it to
 // running; nil when the queue is empty or the manager is closing.
 func (m *Manager) startNext() (*job, context.Context) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	m.mu.Lock()
 	if m.closing || len(m.queue) == 0 {
 		m.mu.Unlock()
@@ -541,6 +737,12 @@ func (m *Manager) startNext() (*job, context.Context) {
 // resumes it from the store.
 func (m *Manager) execute(ctx context.Context, j *job) {
 	res, err := m.run(ctx, j)
+	// Encoded result size, for the retention byte budget; computed
+	// before any lock is taken (campaign results can be large).
+	resBytes := resultSize(res)
+	// The gate pairs the terminal (or checkpoint) transition with its
+	// store record against concurrent compaction snapshots.
+	m.gate.RLock()
 	m.mu.Lock()
 	if cancel := j.cancel; cancel != nil {
 		defer cancel() // release the context's resources
@@ -548,9 +750,9 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 	var rec StoreRecord
 	switch {
 	case err == nil:
-		rec = m.finishLocked(j, StatusDone, "", res)
+		rec = m.finishLocked(j, StatusDone, "", res, resBytes)
 	case j.userCancel:
-		rec = m.finishLocked(j, StatusCancelled, err.Error(), nil)
+		rec = m.finishLocked(j, StatusCancelled, err.Error(), nil, 0)
 	case m.closing && errors.Is(err, context.Canceled):
 		// Shutdown checkpoint: the run was interrupted by Close (a
 		// genuine failure that merely coincides with shutdown is not
@@ -569,10 +771,15 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 		}
 		m.closeSubsLocked(j)
 	default:
-		rec = m.finishLocked(j, StatusFailed, err.Error(), nil)
+		rec = m.finishLocked(j, StatusFailed, err.Error(), nil, 0)
 	}
+	terminal := j.status.Terminal()
 	m.mu.Unlock()
 	m.appendStatus(rec)
+	m.gate.RUnlock()
+	if terminal {
+		m.applyRetention()
+	}
 }
 
 // updateProgress mutates a job's progress under the lock and streams
@@ -587,6 +794,12 @@ func (m *Manager) updateProgress(j *job, mut func(p *Progress)) {
 // Stats snapshots the manager.
 func (m *Manager) Stats() ManagerStats {
 	st := ManagerStats{Engine: m.EngineTotals()}
+	st.Store.SizeBytes = -1
+	if sz, ok := m.store.(Sizer); ok {
+		if n, err := sz.Size(); err == nil {
+			st.Store.SizeBytes = n
+		}
+	}
 	m.mu.Lock()
 	for _, j := range m.jobs {
 		switch j.status {
@@ -602,14 +815,87 @@ func (m *Manager) Stats() ManagerStats {
 			st.Cancelled++
 		}
 	}
+	st.Evicted = m.evictions
+	st.ResultBytes = m.resultBytes
+	st.Store.Compactions = m.compactions
+	st.Store.LastCompaction = m.lastCompact
 	m.mu.Unlock()
 	return st
 }
 
+// Compact rewrites the store into a snapshot of live state: one
+// submit record per retained job, a status record where the job has
+// progressed beyond queued, and the retained eviction tombstones. A
+// no-op on stores without the Compactor capability. Safe to call at
+// any time; the manager also calls it on the janitor tick (with
+// CompactInterval set) and once during Close.
+func (m *Manager) Compact() error {
+	comp, ok := m.store.(Compactor)
+	if !ok {
+		return nil
+	}
+	// Exclusive gate: no transition+append pair is in flight, so the
+	// snapshot below covers every acknowledged record and nothing
+	// appended before the rewrite can be lost by it.
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	m.mu.Lock()
+	recs := m.snapshotLocked()
+	m.mu.Unlock()
+	if err := comp.Compact(recs); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	m.dirty.Store(0)
+	m.mu.Lock()
+	m.compactions++
+	m.lastCompact = time.Now()
+	m.mu.Unlock()
+	return nil
+}
+
+// snapshotLocked serialises live state as store records: tombstones
+// first, then per job (in submission order) its submit record and,
+// beyond queued, one status record. Replaying the snapshot
+// reconstructs exactly this state.
+func (m *Manager) snapshotLocked() []StoreRecord {
+	recs := make([]StoreRecord, 0, len(m.tombs)+2*len(m.jobs))
+	for _, t := range m.tombs {
+		recs = append(recs, StoreRecord{Type: recordEvict, ID: t.id, Time: t.at})
+	}
+	ordered := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
+	for _, j := range ordered {
+		recs = append(recs, StoreRecord{
+			Type: recordSubmit, ID: j.id, Time: j.submittedAt, Spec: &j.spec,
+		})
+		switch {
+		case j.status.Terminal():
+			prog := j.progress
+			recs = append(recs, StoreRecord{
+				Type: recordStatus, ID: j.id, Time: j.finishedAt,
+				Status: j.status, Error: j.err, Progress: &prog, Result: j.result,
+				ResultBytes: j.resultBytes,
+			})
+		case j.status == StatusRunning:
+			// Replays as queued with progress reset — the same
+			// contract as a crash-interrupted run.
+			recs = append(recs, StoreRecord{
+				Type: recordStatus, ID: j.id, Time: j.startedAt, Status: StatusRunning,
+			})
+		}
+	}
+	return recs
+}
+
 // Close shuts the manager down: submissions are rejected, running jobs
 // are cancelled and checkpointed back to queued in the store (so a
-// restart resumes them), worker exit is awaited up to ctx, and the
-// store is closed. Close is idempotent.
+// restart resumes them), worker exit is awaited up to ctx, the store
+// is compacted (when it supports it and the workers drained cleanly —
+// the next startup replays live state, not history), and the store is
+// closed. Close is idempotent.
 func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closing {
@@ -637,6 +923,14 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.closeSubsLocked(j)
 	}
 	m.mu.Unlock()
+	// Shutdown-triggered compaction: only after a clean drain (a
+	// timed-out Close may still have workers appending) and only when
+	// something was appended since the last rewrite.
+	if err == nil && m.dirty.Load() > 0 {
+		if cerr := m.Compact(); cerr != nil {
+			m.opts.Logf("jobs: shutdown compaction: %v", cerr)
+		}
+	}
 	if cerr := m.store.Close(); err == nil {
 		err = cerr
 	}

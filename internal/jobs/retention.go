@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"sort"
+	"time"
+)
+
+// RetentionPolicy bounds the terminal-job state a Manager retains.
+// Without one, every finished job and its result live for the
+// manager's lifetime; with one, the manager evicts terminal jobs in a
+// deterministic order — oldest FinishedAt first, submission sequence
+// on ties — whenever a limit is exceeded. Evicted jobs answer
+// ErrEvicted (the HTTP layer serves 410 Gone) instead of ErrNotFound,
+// for as long as their tombstone is retained (see maxTombstones).
+// Queued and running jobs are never evicted.
+type RetentionPolicy struct {
+	// MaxTerminal caps the number of terminal jobs retained; beyond
+	// it the oldest are evicted. 0 means unlimited.
+	MaxTerminal int
+	// MaxAge evicts terminal jobs whose FinishedAt is older than this.
+	// 0 means unlimited. Age-based eviction runs on the janitor tick,
+	// so an expired job may outlive its deadline by one tick.
+	MaxAge time.Duration
+	// MaxResultBytes caps the summed encoded (JSON) size of retained
+	// results; beyond it the oldest result-bearing terminal jobs are
+	// evicted until the total fits. Terminal jobs without a result
+	// (failed, cancelled) do not count against — and are not evicted
+	// by — this limit. 0 means unlimited.
+	MaxResultBytes int64
+}
+
+// Enabled reports whether any limit is set.
+func (p RetentionPolicy) Enabled() bool {
+	return p.MaxTerminal > 0 || p.MaxAge > 0 || p.MaxResultBytes > 0
+}
+
+// maxTombstones bounds the evicted-ID memory (and its snapshot
+// records): beyond it the oldest tombstones are dropped and their IDs
+// revert from ErrEvicted to ErrNotFound. This keeps startup replay
+// proportional to live state even after unbounded eviction traffic.
+const maxTombstones = 1024
+
+// tombstone remembers one evicted job so its ID keeps answering
+// ErrEvicted (410 Gone) instead of ErrNotFound.
+type tombstone struct {
+	id string
+	at time.Time
+}
+
+// evictLocked removes a terminal job from the table, records its
+// tombstone and returns the store record for the eviction; the caller
+// appends it outside the manager lock.
+func (m *Manager) evictLocked(j *job, now time.Time) StoreRecord {
+	delete(m.jobs, j.id)
+	m.resultBytes -= j.resultBytes
+	m.evictions++
+	m.tombstoneLocked(j.id, now)
+	return StoreRecord{Type: recordEvict, ID: j.id, Time: now}
+}
+
+// tombstoneLocked records an evicted ID, bounding the tombstone list.
+func (m *Manager) tombstoneLocked(id string, at time.Time) {
+	if _, ok := m.evicted[id]; ok {
+		return
+	}
+	m.evicted[id] = struct{}{}
+	m.tombs = append(m.tombs, tombstone{id: id, at: at})
+	for len(m.tombs) > maxTombstones {
+		delete(m.evicted, m.tombs[0].id)
+		m.tombs = m.tombs[1:]
+	}
+}
+
+// enforceRetentionLocked applies the retention policy and returns the
+// eviction records to append. Eviction order is deterministic:
+// terminal jobs sorted by (FinishedAt, submission sequence), oldest
+// first; the age limit goes first, then the count limit, then the
+// result-byte budget (which skips result-less jobs).
+func (m *Manager) enforceRetentionLocked(now time.Time) []StoreRecord {
+	p := m.opts.Retention
+	if !p.Enabled() {
+		return nil
+	}
+	var term []*job
+	for _, j := range m.jobs {
+		if j.status.Terminal() {
+			term = append(term, j)
+		}
+	}
+	sort.Slice(term, func(a, b int) bool {
+		if !term[a].finishedAt.Equal(term[b].finishedAt) {
+			return term[a].finishedAt.Before(term[b].finishedAt)
+		}
+		return term[a].seq < term[b].seq
+	})
+	var recs []StoreRecord
+	i := 0
+	if p.MaxAge > 0 {
+		cutoff := now.Add(-p.MaxAge)
+		for i < len(term) && term[i].finishedAt.Before(cutoff) {
+			recs = append(recs, m.evictLocked(term[i], now))
+			i++
+		}
+	}
+	if p.MaxTerminal > 0 {
+		for len(term)-i > p.MaxTerminal {
+			recs = append(recs, m.evictLocked(term[i], now))
+			i++
+		}
+	}
+	if p.MaxResultBytes > 0 {
+		for k := i; k < len(term) && m.resultBytes > p.MaxResultBytes; k++ {
+			if term[k].resultBytes > 0 {
+				recs = append(recs, m.evictLocked(term[k], now))
+			}
+		}
+	}
+	return recs
+}
+
+// applyRetention enforces the policy and durably records the
+// evictions. Called after every terminal transition, on the janitor
+// tick, and once after startup replay.
+func (m *Manager) applyRetention() {
+	if !m.opts.Retention.Enabled() {
+		return
+	}
+	m.gate.RLock()
+	m.mu.Lock()
+	recs := m.enforceRetentionLocked(time.Now())
+	m.mu.Unlock()
+	for _, rec := range recs {
+		m.appendStatus(rec)
+	}
+	m.gate.RUnlock()
+}

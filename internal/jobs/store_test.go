@@ -94,6 +94,128 @@ func TestFileStoreTruncatedTail(t *testing.T) {
 	}
 }
 
+// TestFileStoreCompact: Compact atomically replaces the log with the
+// snapshot, and later appends extend it — a reopened store replays
+// snapshot + tail, in order.
+func TestFileStoreCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Append(StoreRecord{Type: recordStatus, ID: "j-old", Status: StatusRunning}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapshot := []StoreRecord{
+		{Type: recordEvict, ID: "j-gone", Time: time.Now().UTC()},
+		{Type: recordSubmit, ID: "j-live", Time: time.Now().UTC(), Spec: &Spec{Kind: KindOptimize}},
+	}
+	if err := s.Compact(snapshot); err != nil {
+		t.Fatal(err)
+	}
+	// The tail: an append after the rewrite.
+	if err := s.Append(StoreRecord{Type: recordStatus, ID: "j-live", Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got []string
+	if err := s2.Replay(func(rec StoreRecord) error {
+		got = append(got, rec.Type+"/"+rec.ID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"evict/j-gone", "submit/j-live", "status/j-live"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFileStoreCrashMidCompaction: a crash between writing the
+// snapshot temp file and the atomic rename leaves a (possibly
+// truncated) temp file behind; opening the store must ignore and
+// remove it, replaying the original log intact.
+func TestFileStoreCrashMidCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []StoreRecord{
+		{Type: recordSubmit, ID: "j-1", Time: time.Now().UTC(), Spec: &Spec{Kind: KindOptimize}},
+		{Type: recordStatus, ID: "j-1", Time: time.Now().UTC(), Status: StatusDone, Result: &Result{}},
+	}
+	for _, rec := range recs {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The would-be snapshot, cut off mid-record.
+	tmp := path + compactSuffix
+	if err := os.WriteFile(tmp, []byte(`{"type":"submit","id":"j-2","spe`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived open: %v", err)
+	}
+	var got []string
+	if err := s2.Replay(func(rec StoreRecord) error {
+		got = append(got, rec.ID+"/"+string(rec.Status))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "j-1/" || got[1] != "j-1/done" {
+		t.Errorf("original log not replayed intact: %v", got)
+	}
+}
+
+// TestMemStoreCompact: the in-memory store swaps its history for the
+// snapshot.
+func TestMemStoreCompact(t *testing.T) {
+	s := NewMemStore()
+	for i := 0; i < 4; i++ {
+		if err := s.Append(StoreRecord{Type: recordStatus, ID: "j-old"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact([]StoreRecord{{Type: recordSubmit, ID: "j-new", Spec: &Spec{Kind: KindSweep}}}); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var last string
+	if err := s.Replay(func(rec StoreRecord) error { n++; last = rec.ID; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || last != "j-new" {
+		t.Errorf("compacted mem store replayed %d records (last %q), want 1 j-new", n, last)
+	}
+}
+
 func TestMemStoreReplay(t *testing.T) {
 	s := NewMemStore()
 	if err := s.Append(StoreRecord{Type: recordSubmit, ID: "a", Spec: &Spec{Kind: KindSweep}}); err != nil {
