@@ -12,12 +12,12 @@ package flexopt_test
 import (
 	"context"
 	"fmt"
-	"sort"
 	"testing"
 
 	flexopt "repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perfreg"
 )
 
 // BenchmarkFig1Trace regenerates the Fig. 1 protocol-mechanics trace
@@ -204,33 +204,13 @@ func BenchmarkSimulation(b *testing.B) {
 	}
 }
 
-// fig7Population builds a Fig. 7 style population (5-node systems of
-// 45 tasks in the Section 7 utilisation bands) for the campaign
-// scaling benchmarks.
-func fig7Population(n int) []flexopt.GenParams {
-	specs := make([]flexopt.GenParams, n)
-	for i := range specs {
-		sp := flexopt.DefaultGenParams(5, 42+int64(i))
-		sp.TasksPerNode = 9
-		sp.TTShare = 0.34
-		sp.BusUtilMin, sp.BusUtilMax = 0.30, 0.45
-		sp.DeadlineFactor = 2.0
-		specs[i] = sp
-	}
-	return specs
-}
+// fig7Population and campaignBenchOpts come from the perfreg
+// scenario constructors: the scaling benchmarks and `flexray-bench
+// perf` measure the same populations under the same budgets and
+// cannot drift apart.
+func fig7Population(n int) []flexopt.GenParams { return perfreg.Fig7Population(n) }
 
-// campaignBenchOpts keep one campaign pass around a second per system
-// so the scaling benchmarks iterate.
-func campaignBenchOpts() flexopt.Options {
-	o := flexopt.DefaultOptions()
-	o.DYNGridCap = 12
-	o.SlotCountCap = 2
-	o.SlotLenSteps = 3
-	o.MaxEvaluations = 120
-	o.SAIterations = 40
-	return o
-}
+func campaignBenchOpts() flexopt.Options { return perfreg.CampaignTuning() }
 
 // BenchmarkCampaignWorkers measures campaign throughput over the
 // Fig. 7 population as the worker count grows; the records are
@@ -280,33 +260,14 @@ func BenchmarkPortfolioWorkers(b *testing.B) {
 }
 
 // sessionBenchConfigs builds the candidate stream of the evaluation
-// session benchmark: a DYN-length sweep at fixed geometry interleaved
-// with SA-style FrameID rotations — the two workloads the optimisers
-// actually produce.
+// session benchmark through the shared perfreg constructor: a
+// DYN-length sweep at fixed geometry interleaved with SA-style
+// FrameID rotations — the two workloads the optimisers actually
+// produce, identical to what `flexray-bench perf` measures.
 func sessionBenchConfigs(b *testing.B, sys *flexopt.System) []*flexopt.Config {
-	res, err := flexopt.BBC(sys, flexopt.DefaultOptions())
+	cfgs, err := perfreg.SessionConfigs(sys)
 	if err != nil {
 		b.Fatal(err)
-	}
-	base := res.Config
-	msgs := make([]flexopt.ActID, 0, len(base.FrameID))
-	for m := range base.FrameID {
-		msgs = append(msgs, m)
-	}
-	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
-
-	var cfgs []*flexopt.Config
-	for i := 0; i < 16; i++ {
-		c := base.Clone()
-		c.NumMinislots += 4 * i
-		cfgs = append(cfgs, c)
-	}
-	for r := 1; r < 16 && len(msgs) > 1; r++ {
-		c := base.Clone()
-		for i, m := range msgs {
-			c.FrameID[m] = base.FrameID[msgs[(i+r)%len(msgs)]]
-		}
-		cfgs = append(cfgs, c)
 	}
 	return cfgs
 }
@@ -316,7 +277,7 @@ func sessionBenchConfigs(b *testing.B, sys *flexopt.System) []*flexopt.Config {
 // pre-session pipeline) against one long-lived evaluation session.
 // Run with -benchmem: the session's point is the allocs/op column.
 func BenchmarkEvalSession(b *testing.B) {
-	sys, err := flexopt.Generate(flexopt.DefaultGenParams(4, 123))
+	sys, err := perfreg.SessionSystem()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -338,4 +299,31 @@ func BenchmarkEvalSession(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPerfScenarios drives every scenario op of the
+// performance-regression harness (internal/perfreg) under the
+// standard benchmark runner. `flexray-bench perf` measures exactly
+// these ops with its own calibrated-sampling harness; this benchmark
+// keeps them exercised by `go test -bench` so the two surfaces cannot
+// diverge.
+func BenchmarkPerfScenarios(b *testing.B) {
+	for _, sc := range flexopt.PerfSuite() {
+		b.Run(sc.Name, func(b *testing.B) {
+			op, cleanup, err := sc.Setup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cleanup != nil {
+				defer cleanup()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

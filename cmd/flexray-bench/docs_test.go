@@ -1,0 +1,38 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagDocsDrift is the docs-drift guard for flexray-bench,
+// mirroring the flexray-serve one: every registered flag — the global
+// set and the perf subcommand's set — must appear (as `-name`) in the
+// README and in the OPERATIONS.md flag reference. Adding a flag
+// without documenting it fails CI; so does renaming one and leaving
+// the old docs behind.
+func TestFlagDocsDrift(t *testing.T) {
+	global := flag.NewFlagSet("flexray-bench", flag.ContinueOnError)
+	registerBenchFlags(global)
+	perf := flag.NewFlagSet("flexray-bench perf", flag.ContinueOnError)
+	registerPerfFlags(perf)
+
+	for _, doc := range []string{"README.md", "OPERATIONS.md"} {
+		path := filepath.Join("..", "..", doc)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		text := string(data)
+		for set, fs := range map[string]*flag.FlagSet{"flexray-bench": global, "flexray-bench perf": perf} {
+			fs.VisitAll(func(f *flag.Flag) {
+				if !strings.Contains(text, "`-"+f.Name+"`") {
+					t.Errorf("%s omits %s flag `-%s` (%s)", doc, set, f.Name, f.Usage)
+				}
+			})
+		}
+	}
+}

@@ -16,6 +16,9 @@
 //	                              # executing locally
 //	flexray-bench cruise          # cruise-controller case study
 //	flexray-bench ablation        # design-choice ablations (DESIGN.md §6)
+//	flexray-bench perf [...]      # performance-regression harness
+//	                              # (BENCH_<seq>.json report + baseline gate;
+//	                              # see the "perf" flag set)
 //	flexray-bench all [-full]
 //
 // The population sweeps (fig7, fig9, campaign) shard their work across
@@ -24,6 +27,10 @@
 // identical at any worker count. -cpuprofile writes a runtime/pprof
 // CPU profile of the whole run for inspecting the evaluation-session
 // hot path.
+//
+// Subcommands are validated before anything runs: an unknown name
+// prints the usage and exits 2 without executing the experiments
+// listed next to it.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -46,8 +54,9 @@ import (
 	"repro/internal/jobs"
 )
 
-var workers = flag.Int("workers", runtime.GOMAXPROCS(0),
-	"concurrent evaluation workers for the population sweeps (default: one per CPU)")
+// workers is the shared sweep parallelism; run() fills it in from the
+// parsed flags before any experiment executes.
+var workers = runtime.GOMAXPROCS(0)
 
 // workersSet records an explicit -workers flag: a submitted campaign
 // only overrides the server's own worker default when the user asked
@@ -55,53 +64,203 @@ var workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 // server's).
 var workersSet bool
 
-func main() {
-	full := flag.Bool("full", false, "paper-scale Fig. 9 population (25 apps per node count)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-	submit := flag.String("submit", "", "submit the campaign to a running flexray-serve at this base URL instead of executing locally")
-	flag.Parse()
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
-			workersSet = true
+// benchOptions are the global flexray-bench flags. They are
+// registered through registerBenchFlags so the docs-drift guard can
+// enumerate them without running main.
+type benchOptions struct {
+	workers    int
+	full       bool
+	cpuprofile string
+	submit     string
+}
+
+// registerBenchFlags declares the global flag set on fs and returns
+// the parse destination.
+func registerBenchFlags(fs *flag.FlagSet) *benchOptions {
+	o := &benchOptions{}
+	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0),
+		"concurrent evaluation workers for the population sweeps (default: one per CPU)")
+	fs.BoolVar(&o.full, "full", false, "paper-scale Fig. 9 population (25 apps per node count)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	fs.StringVar(&o.submit, "submit", "", "submit the campaign to a running flexray-serve at this base URL instead of executing locally")
+	return o
+}
+
+// command is one subcommand: its usage line and its runner. The
+// table is the single source of truth for validation, dispatch and
+// the usage text — a name cannot be recognised without also being
+// runnable and documented.
+type command struct {
+	name string
+	desc string
+	run  func(o *benchOptions, inv invocation, stdout, stderr io.Writer) int
+}
+
+var commands = []command{
+	{"fig1", "protocol mechanics trace (Fig. 1)",
+		func(*benchOptions, invocation, io.Writer, io.Writer) int { fig1(); return 0 }},
+	{"fig3", "ST segment optimisation example (Fig. 3)",
+		func(*benchOptions, invocation, io.Writer, io.Writer) int { fig3(); return 0 }},
+	{"fig4", "DYN segment optimisation example (Fig. 4)",
+		func(*benchOptions, invocation, io.Writer, io.Writer) int { fig4(); return 0 }},
+	{"fig7", "response time vs DYN length (Fig. 7)",
+		func(*benchOptions, invocation, io.Writer, io.Writer) int { fig7(); return 0 }},
+	{"fig9", "heuristic evaluation (Fig. 9, both panels)",
+		func(o *benchOptions, _ invocation, _, _ io.Writer) int { fig9(o.full); return 0 }},
+	{"campaign", "population sweep streamed as JSONL (local or -submit)",
+		func(o *benchOptions, _ invocation, _, _ io.Writer) int {
+			if o.submit != "" {
+				submitCampaign(o.submit, o.full)
+			} else {
+				campaignJSONL(o.full)
+			}
+			return 0
+		}},
+	{"cruise", "cruise-controller case study",
+		func(*benchOptions, invocation, io.Writer, io.Writer) int { cruiseStudy(); return 0 }},
+	{"ablation", "design-choice ablations (DESIGN.md §6)",
+		func(*benchOptions, invocation, io.Writer, io.Writer) int { ablation(); return 0 }},
+	{"perf", `performance-regression harness (own flags; try "perf -h")`,
+		func(_ *benchOptions, inv invocation, stdout, stderr io.Writer) int {
+			return runPerf(inv.perfArgs, stdout, stderr)
+		}},
+	{"all", "everything except perf",
+		func(o *benchOptions, _ invocation, _, _ io.Writer) int {
+			fig1()
+			fig3()
+			fig4()
+			fig7()
+			cruiseStudy()
+			ablation()
+			fig9(o.full)
+			return 0
+		}},
+}
+
+// commandByName returns the table entry for name, or nil.
+func commandByName(name string) *command {
+	for i := range commands {
+		if commands[i].name == name {
+			return &commands[i]
 		}
-	})
-	// Accept the flags in any position: the flag package stops
-	// parsing at the first subcommand.
-	var cmds []string
-	args := flag.Args()
+	}
+	return nil
+}
+
+// invocation is a parsed command line: the experiment subcommands to
+// run in order, plus — when the perf harness is invoked — its own
+// argument tail.
+type invocation struct {
+	cmds []string
+	// perfArgs is everything after the "perf" subcommand; the perf
+	// flag set owns those arguments.
+	perfArgs []string
+}
+
+// splitArgs scans the non-flag arguments, accepting the global flags
+// in any position (the flag package stops parsing at the first
+// subcommand). Everything after a "perf" subcommand belongs to perf's
+// own flag set.
+func splitArgs(args []string, o *benchOptions) (invocation, error) {
+	var inv invocation
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
 		case a == "-full" || a == "--full":
-			*full = true
+			o.full = true
 		case a == "-workers" || a == "--workers":
 			i++
-			*workers = intArg(args, i, "-workers")
+			n, err := intArg(args, i, "-workers")
+			if err != nil {
+				return inv, err
+			}
+			o.workers = n
 			workersSet = true
 		case strings.HasPrefix(a, "-workers=") || strings.HasPrefix(a, "--workers="):
-			*workers = intVal(a, "-workers")
+			n, err := intVal(a, "-workers")
+			if err != nil {
+				return inv, err
+			}
+			o.workers = n
 			workersSet = true
 		case a == "-cpuprofile" || a == "--cpuprofile":
 			i++
-			*cpuprofile = strArg(args, i, "-cpuprofile")
+			v, err := strArg(args, i, "-cpuprofile")
+			if err != nil {
+				return inv, err
+			}
+			o.cpuprofile = v
 		case strings.HasPrefix(a, "-cpuprofile=") || strings.HasPrefix(a, "--cpuprofile="):
-			*cpuprofile = a[strings.Index(a, "=")+1:]
+			o.cpuprofile = a[strings.Index(a, "=")+1:]
 		case a == "-submit" || a == "--submit":
 			i++
-			*submit = strArg(args, i, "-submit")
+			v, err := strArg(args, i, "-submit")
+			if err != nil {
+				return inv, err
+			}
+			o.submit = v
 		case strings.HasPrefix(a, "-submit=") || strings.HasPrefix(a, "--submit="):
-			*submit = a[strings.Index(a, "=")+1:]
+			o.submit = a[strings.Index(a, "=")+1:]
+		case strings.ToLower(a) == "perf":
+			// The perf harness owns the rest of the line: its flags
+			// (-baseline, -quick, ...) are not experiment names.
+			inv.cmds = append(inv.cmds, "perf")
+			inv.perfArgs = args[i+1:]
+			return inv, nil
 		default:
-			cmds = append(cmds, a)
+			inv.cmds = append(inv.cmds, strings.ToLower(a))
 		}
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	return inv, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexray-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr, fs) }
+	o := registerBenchFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	inv, err := splitArgs(fs.Args(), o)
+	if err != nil {
+		fmt.Fprintf(stderr, "flexray-bench: %v\n", err)
+		usage(stderr, fs)
+		return 2
+	}
+	// Validate every subcommand before executing any: a typo must
+	// not run half the list first.
+	for _, cmd := range inv.cmds {
+		if commandByName(cmd) == nil {
+			fmt.Fprintf(stderr, "flexray-bench: unknown subcommand %q\n", cmd)
+			usage(stderr, fs)
+			return 2
+		}
+	}
+	workers = o.workers
+	if len(inv.cmds) == 0 {
+		inv.cmds = []string{"all"}
+	}
+
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "flexray-bench:", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+			f.Close()
+			fmt.Fprintln(stderr, "flexray-bench:", err)
+			return 1
 		}
 		stopProfile = func() {
 			pprof.StopCPUProfile()
@@ -109,82 +268,58 @@ func main() {
 		}
 		defer stopProfile()
 	}
-	if len(cmds) == 0 {
-		cmds = []string{"all"}
-	}
-	for _, cmd := range cmds {
-		switch strings.ToLower(cmd) {
-		case "fig1":
-			fig1()
-		case "fig3":
-			fig3()
-		case "fig4":
-			fig4()
-		case "fig7":
-			fig7()
-		case "fig9":
-			fig9(*full)
-		case "campaign":
-			if *submit != "" {
-				submitCampaign(*submit, *full)
-			} else {
-				campaignJSONL(*full)
-			}
-		case "cruise":
-			cruiseStudy()
-		case "ablation":
-			ablation()
-		case "all":
-			fig1()
-			fig3()
-			fig4()
-			fig7()
-			cruiseStudy()
-			ablation()
-			fig9(*full)
-		default:
-			fmt.Fprintf(os.Stderr, "flexray-bench: unknown experiment %q\n", cmd)
-			stopProfile()
-			os.Exit(2)
+	for _, cmd := range inv.cmds {
+		if code := commandByName(cmd).run(o, inv, stdout, stderr); code != 0 {
+			return code
 		}
 	}
+	return 0
 }
 
-// stopProfile flushes a running CPU profile; exits through fail() or
-// the unknown-experiment path call it explicitly because os.Exit skips
-// the deferred flush, which would leave the profile file empty.
+// usage prints the subcommand table and the global flags.
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprint(w, "usage: flexray-bench [flags] [subcommand ...]\n\nsubcommands:\n")
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-9s %s\n", c.name, c.desc)
+	}
+	fmt.Fprint(w, "\nflags:\n")
+	fs.PrintDefaults()
+}
+
+// stopProfile flushes a running CPU profile; exits through fail()
+// call it explicitly because os.Exit skips the deferred flush, which
+// would leave the profile file empty.
 var stopProfile = func() {}
 
-// strArg returns args[i] or exits with a usage error when the flag has
-// no value.
-func strArg(args []string, i int, flag string) string {
+// strArg returns args[i] or an error when the flag has no value.
+func strArg(args []string, i int, flag string) (string, error) {
 	if i >= len(args) {
-		fmt.Fprintf(os.Stderr, "flexray-bench: %s needs a value\n", flag)
-		os.Exit(2)
+		return "", fmt.Errorf("%s needs a value", flag)
 	}
-	return args[i]
+	return args[i], nil
 }
 
 // intArg parses args[i] as the integer value of flag.
-func intArg(args []string, i int, flag string) int {
-	v := strArg(args, i, flag)
+func intArg(args []string, i int, flag string) (int, error) {
+	v, err := strArg(args, i, flag)
+	if err != nil {
+		return 0, err
+	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "flexray-bench: bad %s value %q\n", flag, v)
-		os.Exit(2)
+		return 0, fmt.Errorf("bad %s value %q", flag, v)
 	}
-	return n
+	return n, nil
 }
 
 // intVal parses the integer after "=" in a -flag=value argument.
-func intVal(a, flag string) int {
+func intVal(a, flag string) (int, error) {
 	v := a[strings.Index(a, "=")+1:]
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "flexray-bench: bad %s value %q\n", flag, a)
-		os.Exit(2)
+		return 0, fmt.Errorf("bad %s value %q", flag, a)
 	}
-	return n
+	return n, nil
 }
 
 func header(title string) {
@@ -235,7 +370,7 @@ func fig4() {
 func fig7() {
 	header("Fig. 7 — Influence of DYN segment length on message response times")
 	p := experiments.DefaultFig7Params()
-	p.Workers = *workers
+	p.Workers = workers
 	series, err := experiments.Fig7(p)
 	if err != nil {
 		fail(err)
@@ -261,7 +396,7 @@ func fig9(full bool) {
 		p = experiments.QuickFig9Params()
 		p.AppsPerSet = 5
 	}
-	p.Workers = *workers
+	p.Workers = workers
 	header(fmt.Sprintf("Fig. 9 — Evaluation of bus optimisation algorithms (%d apps / node count)", p.AppsPerSet))
 	res, err := experiments.Fig9(p)
 	if err != nil {
@@ -287,9 +422,9 @@ func campaignJSONL(full bool) {
 	}
 	specs := campaign.PopulationSpecs(p.NodeCounts, p.AppsPerSet, p.Seed, p.DeadlineFactor)
 	fmt.Fprintf(os.Stderr, "campaign: %d systems (%v nodes × %d apps), workers=%d\n",
-		len(specs), p.NodeCounts, p.AppsPerSet, *workers)
+		len(specs), p.NodeCounts, p.AppsPerSet, workers)
 	if _, err := campaign.WriteJSONL(context.Background(), specs, p.Opts,
-		campaign.Options{Workers: *workers, SAWarmFromOBC: true}, os.Stdout); err != nil {
+		campaign.Options{Workers: workers, SAWarmFromOBC: true}, os.Stdout); err != nil {
 		fail(err)
 	}
 }
@@ -318,7 +453,7 @@ func submitCampaign(base string, full bool) {
 	if workersSet {
 		// Only an explicit -workers overrides the server's own
 		// evaluation-parallelism default.
-		spec.Workers = *workers
+		spec.Workers = workers
 	}
 	raw, err := json.Marshal(spec)
 	if err != nil {

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perfreg"
+)
+
+// TestSubcommandsRecognized is the table-driven guard over the whole
+// subcommand surface: every documented subcommand parses, unknown
+// names are rejected with usage and exit code 2 — before anything
+// executes — and flags interleave with subcommands in any position.
+func TestSubcommandsRecognized(t *testing.T) {
+	known := []string{"fig1", "fig3", "fig4", "fig7", "fig9",
+		"campaign", "cruise", "ablation", "perf", "all"}
+	for _, cmd := range known {
+		t.Run(cmd, func(t *testing.T) {
+			o := &benchOptions{}
+			inv, err := splitArgs([]string{cmd}, o)
+			if err != nil {
+				t.Fatalf("splitArgs(%q): %v", cmd, err)
+			}
+			if len(inv.cmds) != 1 || inv.cmds[0] != cmd {
+				t.Fatalf("splitArgs(%q) = %v", cmd, inv.cmds)
+			}
+			c := commandByName(inv.cmds[0])
+			if c == nil {
+				t.Fatalf("%q missing from the command table", cmd)
+			}
+			if c.desc == "" || c.run == nil {
+				t.Fatalf("%q has no usage line or runner", cmd)
+			}
+		})
+	}
+	// Every entry of the command table is covered above — the test
+	// table and the dispatch table cannot drift apart.
+	if len(known) != len(commands) {
+		t.Errorf("test covers %d subcommands, command table has %d", len(known), len(commands))
+	}
+}
+
+func TestUnknownSubcommandUsageExit2(t *testing.T) {
+	cases := [][]string{
+		{"bogus"},
+		{"fig1", "bogus"},          // typo after a valid name: nothing may run
+		{"-workers", "2", "bogus"}, // after flag parsing
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2", args, code)
+			}
+			if !strings.Contains(stderr.String(), "usage: flexray-bench") {
+				t.Errorf("run(%v) did not print usage:\n%s", args, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("run(%v) produced experiment output before rejecting:\n%s", args, stdout.String())
+			}
+		})
+	}
+}
+
+func TestBadFlagValuesExit2(t *testing.T) {
+	for _, args := range [][]string{
+		{"fig7", "-workers"},        // missing value
+		{"fig7", "-workers", "two"}, // non-integer
+		{"fig7", "-workers=two"},
+		{"fig1", "-cpuprofile"}, // missing value
+	} {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2", args, code)
+			}
+		})
+	}
+}
+
+func TestSplitArgsInterleavedFlags(t *testing.T) {
+	o := &benchOptions{}
+	inv, err := splitArgs([]string{"fig7", "-workers=3", "fig9", "-full"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(inv.cmds, ","); got != "fig7,fig9" {
+		t.Errorf("cmds = %q", got)
+	}
+	if o.workers != 3 || !o.full {
+		t.Errorf("flags not applied: %+v", o)
+	}
+}
+
+// TestSplitArgsPerfOwnsTail: everything after "perf" belongs to the
+// perf flag set, not the subcommand scanner.
+func TestSplitArgsPerfOwnsTail(t *testing.T) {
+	o := &benchOptions{}
+	inv, err := splitArgs([]string{"perf", "-quick", "-baseline", "BENCH_5.json"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.cmds) != 1 || inv.cmds[0] != "perf" {
+		t.Fatalf("cmds = %v", inv.cmds)
+	}
+	if got := strings.Join(inv.perfArgs, " "); got != "-quick -baseline BENCH_5.json" {
+		t.Errorf("perfArgs = %q", got)
+	}
+}
+
+// fixtureSuite is a fast deterministic suite for the gate-path tests:
+// op() allocates exactly `allocs` objects per call.
+func fixtureSuite(allocs int) func() []*perfreg.Scenario {
+	return func() []*perfreg.Scenario {
+		return []*perfreg.Scenario{{
+			Name:   "fixture/op",
+			Unit:   "op",
+			Serial: true,
+			// Same-machine timing of a microsecond op still jitters;
+			// the fixture gates on allocations, which are exact.
+			TimeTolPct: 900,
+			Setup: func() (func() error, func(), error) {
+				var keep []*[32]byte
+				sink := 0
+				return func() error {
+					keep = keep[:0]
+					for i := 0; i < allocs; i++ {
+						keep = append(keep, new([32]byte))
+					}
+					for i := 0; i < 2000; i++ {
+						sink += i
+					}
+					_ = sink
+					return nil
+				}, nil, nil
+			},
+		}}
+	}
+}
+
+// TestPerfBaselineGate drives the acceptance fixture end to end
+// through runPerf: an unchanged tree gates clean against its own
+// baseline, and an injected regression (one extra allocation per op)
+// exits non-zero.
+func TestPerfBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_1.json")
+	defer func(orig func() []*perfreg.Scenario) { perfSuite = orig }(perfSuite)
+
+	perfSuite = fixtureSuite(2)
+	var stdout, stderr bytes.Buffer
+	if code := runPerf([]string{"-quick", "-seq", "1", "-out", baseline}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline run = %d: %s", code, stderr.String())
+	}
+
+	// Unchanged: the same suite against its own baseline passes.
+	out := filepath.Join(dir, "current.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := runPerf([]string{"-quick", "-seq", "2", "-out", out, "-baseline", baseline}, &stdout, &stderr); code != 0 {
+		t.Fatalf("unchanged gate = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fixture/op") {
+		t.Errorf("diff table missing scenario:\n%s", stdout.String())
+	}
+
+	// Injected regression: one extra allocation per op breaches the
+	// exact allocs/op gate.
+	perfSuite = fixtureSuite(3)
+	stdout.Reset()
+	stderr.Reset()
+	if code := runPerf([]string{"-quick", "-seq", "3", "-out", out, "-baseline", baseline}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed gate = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Errorf("diff table does not mark the regression:\n%s", stdout.String())
+	}
+	// The report of the failing run is still written — CI uploads it
+	// as the artifact of the red build.
+	if _, err := perfreg.ReadReport(out); err != nil {
+		t.Errorf("failing run left no report: %v", err)
+	}
+}
+
+func TestPerfRejectsUnknownArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runPerf([]string{"extra"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("runPerf(extra) = %d, want 2", code)
+	}
+	if code := runPerf([]string{"-notaflag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("runPerf(-notaflag) = %d, want 2", code)
+	}
+}
+
+// TestPerfFlagsRegistered pins the perf flag surface the docs and CI
+// depend on.
+func TestPerfFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
+	registerPerfFlags(fs)
+	for _, name := range []string{"quick", "out", "baseline", "time-tol", "seq"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("perf flag -%s not registered", name)
+		}
+	}
+}

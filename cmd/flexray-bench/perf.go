@@ -1,0 +1,113 @@
+// The perf subcommand runs the performance-regression harness
+// (internal/perfreg): it measures the curated macro-benchmark suite,
+// writes a schema-versioned BENCH_<seq>.json report, and — with
+// -baseline — gates the run against a committed baseline, printing a
+// human diff table and exiting 1 on any regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/perfreg"
+)
+
+// perfOptions are the perf subcommand's flags, registered through
+// registerPerfFlags so the docs-drift guard can enumerate them.
+type perfOptions struct {
+	quick    bool
+	out      string
+	baseline string
+	timeTol  float64
+	seq      int
+}
+
+// registerPerfFlags declares the perf flag set on fs and returns the
+// parse destination.
+func registerPerfFlags(fs *flag.FlagSet) *perfOptions {
+	o := &perfOptions{}
+	fs.BoolVar(&o.quick, "quick", false,
+		"reduced sampling for CI smoke runs (timings get noisier; allocation counts stay identical to a full run)")
+	fs.StringVar(&o.out, "out", "",
+		"write the JSON report to this path (default BENCH_<seq>.json in the current directory)")
+	fs.StringVar(&o.baseline, "baseline", "",
+		"compare this run against the given baseline report and exit 1 on any regression")
+	fs.Float64Var(&o.timeTol, "time-tol", 0,
+		"override every scenario's time-regression tolerance, in percent (use a loose value when the baseline was produced on different hardware)")
+	fs.IntVar(&o.seq, "seq", 0,
+		"sequence number recorded in the report (default: next free BENCH_<n>.json)")
+	return o
+}
+
+// perfSuite builds the scenario suite; a variable so the gate-path
+// tests can substitute a fast fixture suite.
+var perfSuite = perfreg.Suite
+
+// runPerf executes the harness. The report is written before the
+// baseline gate runs, so CI keeps the artifact of a failing run.
+func runPerf(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexray-bench perf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := registerPerfFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "flexray-bench perf: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	cfg := perfreg.FullConfig()
+	if o.quick {
+		cfg = perfreg.QuickConfig()
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
+	report, err := perfreg.RunSuite(perfSuite(), cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "flexray-bench perf:", err)
+		return 1
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "flexray-bench perf:", err)
+		return 1
+	}
+	report.Seq = o.seq
+	if report.Seq <= 0 {
+		report.Seq = perfreg.NextSeq(cwd)
+	}
+	report.GitSHA = perfreg.GitSHA(cwd)
+	out := o.out
+	if out == "" {
+		out = perfreg.SeqPath(cwd, report.Seq)
+	}
+	if err := report.WriteFile(out); err != nil {
+		fmt.Fprintln(stderr, "flexray-bench perf:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "perf: report %s (seq %d, %d scenarios)\n", out, report.Seq, len(report.Scenarios))
+
+	if o.baseline == "" {
+		return 0
+	}
+	base, err := perfreg.ReadReport(o.baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "flexray-bench perf:", err)
+		return 1
+	}
+	cmp := perfreg.Compare(base, report, perfreg.CompareOptions{TimeTolPct: o.timeTol})
+	fmt.Fprintf(stdout, "baseline %s (seq %d, %s)\n\n%s",
+		o.baseline, base.Seq, base.Env.GoVersion, cmp.Table())
+	if !cmp.OK() {
+		fmt.Fprintf(stderr, "perf: %d metric(s) regressed against %s\n",
+			len(cmp.Regressions())+len(cmp.Missing), o.baseline)
+		return 1
+	}
+	fmt.Fprintln(stderr, "perf: no regressions")
+	return 0
+}

@@ -1,0 +1,168 @@
+package perfreg
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Metric names used in comparisons.
+const (
+	MetricTime   = "ns/op"
+	MetricAllocs = "allocs/op"
+	MetricBytes  = "B/op"
+)
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// TimeTolPct, when > 0, overrides every scenario's time
+	// tolerance. Committed baselines are produced on one machine and
+	// CI runs on another: time thresholds do not transfer across
+	// hardware, so the CI gate passes a loose override (catching only
+	// catastrophic slowdowns) while allocation gates stay exact.
+	TimeTolPct float64
+	// MADFactor widens the effective time tolerance to at least
+	// MADFactor sample-MADs of noise (the larger of baseline and
+	// current); <= 0 selects 3. A scenario whose own timing spread
+	// exceeds its percentage threshold cannot flake the gate.
+	MADFactor float64
+}
+
+// MetricDelta is one gated metric of one scenario.
+type MetricDelta struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Base     float64 `json:"base"`
+	Cur      float64 `json:"cur"`
+	// DeltaPct is the relative change in percent (positive = worse).
+	DeltaPct float64 `json:"delta_pct"`
+	// TolPct is the effective tolerance applied (after any override
+	// and MAD widening).
+	TolPct    float64 `json:"tol_pct"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the outcome of gating a current report against a
+// baseline.
+type Comparison struct {
+	// Missing lists baseline scenarios absent from the current run —
+	// lost coverage gates as hard as a regression.
+	Missing []string `json:"missing,omitempty"`
+	// Added lists current scenarios the baseline lacks (new coverage;
+	// never a regression).
+	Added  []string      `json:"added,omitempty"`
+	Deltas []MetricDelta `json:"deltas"`
+}
+
+// Regressions returns the deltas that breached their tolerance.
+func (c *Comparison) Regressions() []MetricDelta {
+	var out []MetricDelta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OK reports whether the gate passes: every baseline scenario present
+// and no metric regressed.
+func (c *Comparison) OK() bool {
+	return len(c.Missing) == 0 && len(c.Regressions()) == 0
+}
+
+// Compare gates cur against base scenario by scenario. Thresholds
+// come from the baseline (the blessed contract), optionally widened
+// per CompareOptions; a tolerance of NoGate skips that metric.
+func Compare(base, cur *Report, opts CompareOptions) *Comparison {
+	if opts.MADFactor <= 0 {
+		opts.MADFactor = 3
+	}
+	c := &Comparison{}
+	for i := range base.Scenarios {
+		b := &base.Scenarios[i]
+		s := cur.Scenario(b.Name)
+		if s == nil {
+			c.Missing = append(c.Missing, b.Name)
+			continue
+		}
+		timeTol := b.TimeTolPct
+		if opts.TimeTolPct > 0 {
+			timeTol = opts.TimeTolPct
+		}
+		if timeTol >= 0 && b.NsPerOp > 0 {
+			// Noise widening: a threshold tighter than the observed
+			// sample spread would gate on scheduler luck, not code.
+			noise := 100 * opts.MADFactor * max(b.NsMAD, s.NsMAD) / b.NsPerOp
+			timeTol = max(timeTol, noise)
+		}
+		c.gate(b.Name, MetricTime, b.NsPerOp, s.NsPerOp, timeTol)
+		c.gate(b.Name, MetricAllocs, float64(b.AllocsPerOp), float64(s.AllocsPerOp), b.AllocTolPct)
+		c.gate(b.Name, MetricBytes, float64(b.BytesPerOp), float64(s.BytesPerOp), b.BytesTolPct)
+	}
+	for i := range cur.Scenarios {
+		if base.Scenario(cur.Scenarios[i].Name) == nil {
+			c.Added = append(c.Added, cur.Scenarios[i].Name)
+		}
+	}
+	return c
+}
+
+// gate records one metric delta; tol < 0 (NoGate) skips it entirely.
+func (c *Comparison) gate(scenario, metric string, base, cur, tol float64) {
+	if tol < 0 {
+		return
+	}
+	d := MetricDelta{Scenario: scenario, Metric: metric, Base: base, Cur: cur, TolPct: tol}
+	switch {
+	case base == 0:
+		// A zero baseline cannot express a relative change, so any
+		// percentage tolerance is meaningless there: the metric
+		// appearing from nothing is always a regression (a blessed
+		// zero-alloc scenario growing to 1000 allocs/op must not
+		// slip through a 5% threshold).
+		d.Regressed = cur > 0
+		if cur > 0 {
+			d.DeltaPct = 100
+		}
+	default:
+		d.DeltaPct = 100 * (cur - base) / base
+		d.Regressed = d.DeltaPct > tol
+	}
+	c.Deltas = append(c.Deltas, d)
+}
+
+// Table renders the comparison as the human diff table the CLI
+// prints: one row per gated metric, regressions marked, plus
+// missing/added scenario notes.
+func (c *Comparison) Table() string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tmetric\tbaseline\tcurrent\tdelta\ttolerance\tverdict")
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		} else if d.DeltaPct < 0 {
+			verdict = "improved"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%+.1f%%\t%.0f%%\t%s\n",
+			d.Scenario, d.Metric, formatMetric(d.Metric, d.Base), formatMetric(d.Metric, d.Cur),
+			d.DeltaPct, d.TolPct, verdict)
+	}
+	for _, name := range c.Missing {
+		fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\tMISSING\n", name)
+	}
+	for _, name := range c.Added {
+		fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\tnew\n", name)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+func formatMetric(metric string, v float64) string {
+	if metric == MetricTime {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%d", int64(v))
+}

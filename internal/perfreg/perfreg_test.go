@@ -1,0 +1,200 @@
+package perfreg
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testConfig keeps harness tests fast: minimal sampling, tiny warmup.
+func testConfig() MeasureConfig {
+	return MeasureConfig{
+		Samples:          3,
+		TargetSampleTime: time.Millisecond,
+		WarmupTime:       time.Millisecond,
+		MaxReps:          1 << 10,
+	}
+}
+
+// spinScenario burns a little CPU without allocating.
+func spinScenario(name string) *Scenario {
+	return &Scenario{
+		Name:   name,
+		Unit:   "op",
+		Serial: true,
+		Setup: func() (func() error, func(), error) {
+			sink := 0
+			return func() error {
+				for i := 0; i < 1000; i++ {
+					sink += i * i
+				}
+				if sink == -1 {
+					return errors.New("impossible")
+				}
+				return nil
+			}, nil, nil
+		},
+	}
+}
+
+func TestMeasureSpin(t *testing.T) {
+	res, err := Measure(spinScenario("test/spin"), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NsPerOp <= 0 {
+		t.Errorf("NsPerOp = %v, want > 0", res.NsPerOp)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Errorf("OpsPerSec = %v, want > 0", res.OpsPerSec)
+	}
+	if res.AllocsPerOp != 0 {
+		t.Errorf("spin loop AllocsPerOp = %d, want 0", res.AllocsPerOp)
+	}
+	if res.Samples != 3 || res.Reps < 1 {
+		t.Errorf("samples/reps = %d/%d", res.Samples, res.Reps)
+	}
+	// Defaults applied by normalization.
+	if res.TimeTolPct != DefaultTimeTolPct || res.AllocTolPct != 0 || res.BytesTolPct != DefaultBytesTolPct {
+		t.Errorf("tolerances = %v/%v/%v, want defaults", res.TimeTolPct, res.AllocTolPct, res.BytesTolPct)
+	}
+}
+
+// TestMeasureAllocExact: the fixed-repetition allocation pass counts
+// a deliberately allocating op exactly, under GOMAXPROCS(1).
+func TestMeasureAllocExact(t *testing.T) {
+	var keep []*[64]byte
+	sc := &Scenario{
+		Name:   "test/alloc",
+		Unit:   "op",
+		Serial: true,
+		Setup: func() (func() error, func(), error) {
+			return func() error {
+				keep = append(keep[:0], new([64]byte), new([64]byte))
+				return nil
+			}, nil, nil
+		},
+	}
+	res, err := Measure(sc, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocsPerOp != 2 {
+		t.Errorf("AllocsPerOp = %d, want 2", res.AllocsPerOp)
+	}
+	if res.BytesPerOp < 128 {
+		t.Errorf("BytesPerOp = %d, want >= 128", res.BytesPerOp)
+	}
+	_ = keep
+}
+
+func TestMeasureOpError(t *testing.T) {
+	boom := errors.New("boom")
+	sc := &Scenario{
+		Name: "test/err",
+		Unit: "op",
+		Setup: func() (func() error, func(), error) {
+			return func() error { return boom }, nil, nil
+		},
+	}
+	if _, err := Measure(sc, testConfig()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMeasureRunsCleanup(t *testing.T) {
+	cleaned := false
+	sc := spinScenario("test/cleanup")
+	inner := sc.Setup
+	sc.Setup = func() (func() error, func(), error) {
+		op, _, err := inner()
+		return op, func() { cleaned = true }, err
+	}
+	if _, err := Measure(sc, testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Error("cleanup not run")
+	}
+}
+
+func TestRunSuiteRejectsDuplicateNames(t *testing.T) {
+	_, err := RunSuite([]*Scenario{spinScenario("dup"), spinScenario("dup")}, testConfig())
+	if err == nil {
+		t.Fatal("duplicate scenario names accepted")
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	xs := []float64{100, 102, 98, 500, 101} // one preempted outlier
+	med := median(xs)
+	if med != 101 {
+		t.Errorf("median = %v, want 101 (outlier must not shift it)", med)
+	}
+	mad := medianAbsDev(xs, med)
+	if mad != 1 {
+		t.Errorf("MAD = %v, want 1", mad)
+	}
+	if m := median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median = %v, want 0", m)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := RunSuite([]*Scenario{spinScenario("test/spin")}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Seq = 7
+	rep.GitSHA = "abc123"
+	path := SeqPath(dir, rep.Seq)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.GitSHA != "abc123" || len(got.Scenarios) != 1 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.Scenario("test/spin") == nil {
+		t.Error("scenario lookup failed after round trip")
+	}
+	if got.Env.GoVersion == "" || got.Env.GOMAXPROCS <= 0 {
+		t.Errorf("environment fingerprint incomplete: %+v", got.Env)
+	}
+}
+
+func TestReadReportRejectsSchemaDrift(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{SchemaVersion: SchemaVersion + 1, Env: CurrentEnvironment()}
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+func TestNextSeq(t *testing.T) {
+	dir := t.TempDir()
+	if n := NextSeq(dir); n != 1 {
+		t.Errorf("empty dir NextSeq = %d, want 1", n)
+	}
+	for _, seq := range []int{1, 5} {
+		rep := &Report{SchemaVersion: SchemaVersion, Seq: seq}
+		if err := rep.WriteFile(SeqPath(dir, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := NextSeq(dir); n != 6 {
+		t.Errorf("NextSeq = %d, want 6", n)
+	}
+}
