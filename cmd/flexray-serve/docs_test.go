@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestFlagDocsDrift is the docs-drift guard: every flag registered by
@@ -27,5 +29,33 @@ func TestFlagDocsDrift(t *testing.T) {
 				t.Errorf("%s omits flexray-serve flag `-%s` (%s)", doc, f.Name, f.Usage)
 			}
 		})
+	}
+}
+
+// TestMetricsDocsDrift extends the drift guard to the metric names:
+// every family a freshly built server registers must appear (in
+// backticks) in the OPERATIONS.md metrics reference. Instrumenting a
+// new subsystem without documenting the series fails CI.
+func TestMetricsDocsDrift(t *testing.T) {
+	s, err := newServer(serverConfig{Workers: 1, MaxConcurrent: 1, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("job shutdown: %v", err)
+		}
+	}()
+	data, err := os.ReadFile(filepath.Join("..", "..", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, name := range s.reg.Names() {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("OPERATIONS.md omits registered metric `%s`", name)
+		}
 	}
 }

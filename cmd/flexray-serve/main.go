@@ -9,7 +9,7 @@
 //	              [-timeout 2m] [-max-body 8388608] [-pprof]
 //	              [-store jobs.jsonl] [-job-workers N] [-queue-cap N]
 //	              [-retain-jobs N] [-retain-age D] [-retain-bytes N]
-//	              [-compact-interval D]
+//	              [-compact-interval D] [-log-format text|json] [-version]
 //
 // Synchronous endpoints:
 //
@@ -18,6 +18,7 @@
 //	POST /v1/analyze   {"system": {...}, "config": {...}}
 //	POST /v1/simulate  {"system": {...}, "config": {...}, "repetitions": 2}
 //	GET  /healthz
+//	GET  /metrics      Prometheus text exposition (see OPERATIONS.md)
 //	GET  /debug/pprof/ (only with -pprof; off by default)
 //
 // Asynchronous jobs (durable with -store; see internal/jobs):
@@ -27,6 +28,7 @@
 //	GET    /v1/jobs/{id}        poll one job (status + progress)
 //	GET    /v1/jobs/{id}/result fetch the payload of a finished job
 //	GET    /v1/jobs/{id}/events live progress via Server-Sent Events
+//	GET    /v1/jobs/{id}/trace  optimiser convergence trace of the job
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //
 // Example round-trip (the paper's cruise-controller case study):
@@ -60,7 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"mime"
 	"net/http"
 	"net/http/pprof"
@@ -77,6 +79,7 @@ import (
 	"repro/internal/flexray"
 	"repro/internal/jobs"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -100,6 +103,8 @@ type serveOptions struct {
 	retainAge       time.Duration
 	retainBytes     int64
 	compactInterval time.Duration
+	logFormat       string
+	version         bool
 }
 
 // registerFlags declares the flexray-serve flag set on fs; main passes
@@ -119,6 +124,8 @@ func registerFlags(fs *flag.FlagSet) *serveOptions {
 	fs.DurationVar(&o.retainAge, "retain-age", 0, "terminal jobs finished longer ago than this are evicted (0 = unlimited)")
 	fs.Int64Var(&o.retainBytes, "retain-bytes", 0, "total encoded job-result bytes retained before the oldest results are evicted (0 = unlimited)")
 	fs.DurationVar(&o.compactInterval, "compact-interval", 0, "rewrite the -store file to live state this often (0 = only at shutdown)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text or json")
+	fs.BoolVar(&o.version, "version", false, "print build information and exit")
 	return o
 }
 
@@ -126,11 +133,26 @@ func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
+	if o.version {
+		b := readBuildInfo()
+		fmt.Printf("flexray-serve %s (revision %s, %s)\n", b.Version, b.Revision, b.Go)
+		return
+	}
+	logger, err := newLogger(o.logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexray-serve: %v\n", err)
+		os.Exit(2)
+	}
+	// writeJSON and the jobs manager's default Logf log through the
+	// default logger; route it to the selected handler too.
+	slog.SetDefault(logger)
+
 	var store jobs.Store
 	if o.store != "" {
 		fs, err := jobs.NewFileStore(o.store)
 		if err != nil {
-			log.Fatalf("flexray-serve: %v", err)
+			logger.Error("opening job store", "store", o.store, "error", err)
+			os.Exit(1)
 		}
 		store = fs
 	}
@@ -149,9 +171,11 @@ func main() {
 			MaxResultBytes: o.retainBytes,
 		},
 		JobCompactInterval: o.compactInterval,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatalf("flexray-serve: %v", err)
+		logger.Error("startup", "error", err)
+		os.Exit(1)
 	}
 	srv := &http.Server{
 		Addr:              o.addr,
@@ -163,15 +187,20 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("flexray-serve: listening on %s (workers=%d, max-concurrent=%d)",
-		o.addr, effectiveWorkers(o.workers), o.maxConc)
+	logger.Info("listening",
+		"addr", o.addr,
+		"workers", effectiveWorkers(o.workers),
+		"max_concurrent", o.maxConc,
+		"version", s.build.Version,
+		"revision", s.build.Revision)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("flexray-serve: %v", err)
+		logger.Error("serving", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Print("flexray-serve: draining")
+	logger.Info("draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	// Checkpoint the job subsystem first: running jobs are cancelled
@@ -179,10 +208,10 @@ func main() {
 	// them), and the long-lived SSE event streams end — srv.Shutdown
 	// would otherwise wait out its whole grace period on them.
 	if err := s.Close(shutCtx); err != nil {
-		log.Printf("flexray-serve: job shutdown: %v", err)
+		logger.Error("job shutdown", "error", err)
 	}
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("flexray-serve: shutdown: %v", err)
+		logger.Error("shutdown", "error", err)
 	}
 }
 
@@ -214,6 +243,9 @@ type serverConfig struct {
 	// JobCompactInterval triggers periodic store compaction
 	// (-compact-interval); graceful shutdown always compacts.
 	JobCompactInterval time.Duration
+	// Logger receives the request and operational logs; nil uses
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // server carries the shared request-shaping state; it implements
@@ -227,6 +259,12 @@ type server struct {
 	// engine counts the synchronous endpoints' evaluations; healthz
 	// adds the job manager's totals on top.
 	engine campaign.EngineCounters
+	// reg holds every metric the server exposes at GET /metrics; the
+	// middleware in route() and the jobs manager feed it.
+	reg      *obs.Registry
+	log      *slog.Logger
+	inflight *obs.Gauge
+	build    buildInfo
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -239,34 +277,47 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 8 << 20
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	s := &server{
 		mux:     http.NewServeMux(),
 		cfg:     cfg,
 		heavy:   make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
+		log:     cfg.Logger,
+		build:   readBuildInfo(),
 	}
+	s.reg = s.newRegistry()
 	mgr, err := jobs.NewManager(cfg.JobStore, jobs.ManagerOptions{
 		Workers:         cfg.JobWorkers,
 		QueueCap:        cfg.JobQueueCap,
 		EvalWorkers:     effectiveWorkers(cfg.Workers),
 		Retention:       cfg.JobRetention,
 		CompactInterval: cfg.JobCompactInterval,
+		Metrics:         jobs.NewMetrics(s.reg),
+		Logf: func(format string, args ...any) {
+			cfg.Logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.jobs = mgr
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /v1/optimize", s.guard(s.handleOptimize))
-	s.mux.HandleFunc("POST /v1/analyze", s.guard(s.handleAnalyze))
-	s.mux.HandleFunc("POST /v1/simulate", s.guard(s.handleSimulate))
-	s.mux.HandleFunc("POST /v1/jobs", s.guard(s.handleJobSubmit))
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.bindEngineMetrics()
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", s.reg.ServeHTTP)
+	s.route("POST /v1/optimize", s.guard(s.handleOptimize))
+	s.route("POST /v1/analyze", s.guard(s.handleAnalyze))
+	s.route("POST /v1/simulate", s.guard(s.handleSimulate))
+	s.route("POST /v1/jobs", s.guard(s.handleJobSubmit))
+	s.route("GET /v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", s.handleJobGet)
+	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	// The event stream is long-lived by design: no request timeout.
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.route("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	if cfg.Pprof {
 		// Mounted on the server's own mux (we never serve
 		// http.DefaultServeMux, so the net/http/pprof side-effect
@@ -364,11 +415,15 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	stats := s.jobs.Stats()
 	engine := stats.Engine
 	engine.Add(s.engine.Total())
+	// Liveness answers must never be served stale by an intermediary
+	// cache: a probe that hits a cache defeats its purpose.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"uptime_s":  int64(time.Since(s.started).Seconds()),
 		"workers":   effectiveWorkers(s.cfg.Workers),
 		"gomaxproc": runtime.GOMAXPROCS(0),
+		"build":     s.build,
 		"engine":    engine,
 		"jobs":      stats,
 	})
@@ -627,7 +682,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("flexray-serve: encoding response: %v", err)
+		slog.Error("encoding response", "error", err)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -23,6 +25,11 @@ import (
 // with the test.
 func mustServer(t *testing.T, cfg serverConfig) *httptest.Server {
 	t.Helper()
+	if cfg.Logger == nil {
+		// The polling helpers issue hundreds of requests; keep the
+		// request log out of the test output.
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// TestMetricsEndpoint is the acceptance pin for GET /metrics: after
+// real traffic (a health probe and a finished campaign job) the scrape
+// exposes every layer — HTTP middleware, evaluation engine, job
+// manager, store and Go runtime — in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	job := submitJob(t, ts, campaignSpec([]int{2}, 2, 7))
+	pollJob(t, ts, job.ID, jobs.StatusDone)
+
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("scrape content type %q, want the 0.0.4 text format", ct)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response without X-Request-Id")
+	}
+	text := string(body)
+	for _, want := range []string{
+		// HTTP middleware: the submit POST got a 202, the health probe
+		// a 200, and latency histograms exist per route.
+		`flexray_http_requests_total{route="/v1/jobs",method="POST",code="202"} 1`,
+		`flexray_http_requests_total{route="/healthz",method="GET",code="200"} 1`,
+		`flexray_http_request_duration_seconds_count{route="/v1/jobs/{id}"}`,
+		// The scrape observes itself in flight.
+		"flexray_http_requests_in_flight 1",
+		// Jobs and store.
+		"flexray_jobs_submitted_total 1",
+		`flexray_jobs_finished_total{status="done"} 1`,
+		`flexray_jobs_state{state="done"} 1`,
+		"flexray_jobs_queue_depth 0",
+		"flexray_jobs_run_seconds_count 1",
+		"flexray_store_append_seconds_count",
+		// Memory store: no on-disk footprint to report.
+		"flexray_store_size_bytes -1",
+		// Engine, runtime and process families.
+		"flexray_engine_evaluations_total",
+		"flexray_engine_cache_hits_total",
+		"go_goroutines",
+		"go_gc_cycles_total",
+		"process_uptime_seconds",
+		"flexray_build_info{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The campaign evaluated real candidates.
+	if strings.Contains(text, "flexray_engine_evaluations_total 0\n") {
+		t.Error("engine evaluation counter still zero after a finished campaign")
+	}
+}
+
+// TestJobTraceEndpoint: a finished campaign job serves a bounded,
+// non-empty optimiser trace with per-system convergence events; an
+// unknown ID answers 404 like the other job endpoints.
+func TestJobTraceEndpoint(t *testing.T) {
+	ts := testServer(t)
+	job := submitJob(t, ts, campaignSpec([]int{2}, 2, 7))
+	pollJob(t, ts, job.ID, jobs.StatusDone)
+
+	resp, body := get(t, ts, "/v1/jobs/"+job.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d: %s", resp.StatusCode, body)
+	}
+	var tr traceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.JobID != job.ID || tr.Kind != jobs.KindCampaign || tr.Status != jobs.StatusDone {
+		t.Fatalf("trace header %+v, want the finished campaign job", tr)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("finished campaign job has no trace events")
+	}
+	if len(tr.Events) > jobs.DefaultTraceCap {
+		t.Fatalf("trace retained %d events, cap %d", len(tr.Events), jobs.DefaultTraceCap)
+	}
+	if tr.Dropped != tr.Total-uint64(len(tr.Events)) {
+		t.Errorf("dropped %d, want total %d - retained %d", tr.Dropped, tr.Total, len(tr.Events))
+	}
+	for _, ev := range tr.Events {
+		if ev.Algorithm == "" || ev.System == "" {
+			t.Fatalf("campaign trace event missing algorithm/system: %+v", ev)
+		}
+		if ev.BestCost > ev.Cost+1e-9 {
+			t.Fatalf("incumbent best %v above the event's own cost %v", ev.BestCost, ev.Cost)
+		}
+	}
+
+	if resp, _ := get(t, ts, "/v1/jobs/j-nope/trace"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthzBuildInfo: the probe carries the build identity block and
+// forbids intermediary caching.
+func TestHealthzBuildInfo(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("healthz Cache-Control %q, want no-store", cc)
+	}
+	var payload struct {
+		Build buildInfo `json:"build"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Build.Go == "" || payload.Build.Version == "" || payload.Build.Revision == "" {
+		t.Errorf("healthz build block incomplete: %+v", payload.Build)
+	}
+}
+
+// TestRequestIDPropagation: an upstream-assigned X-Request-Id is
+// echoed back unchanged; without one the server mints its own.
+func TestRequestIDPropagation(t *testing.T) {
+	ts := testServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "upstream-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "upstream-42" {
+		t.Errorf("echoed request id %q, want upstream-42", id)
+	}
+}
+
+// TestSSEThroughMiddleware guards the Flush forwarding: the SSE
+// handler type-asserts http.Flusher on the wrapped writer, so a
+// middleware regression would turn every event stream into a 500.
+func TestSSEThroughMiddleware(t *testing.T) {
+	ts := testServer(t)
+	job := submitJob(t, ts, campaignSpec([]int{2}, 1, 5))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events through middleware: %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	// Read at least one event to prove the stream flushes.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("reading first event byte: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/flexray"
 	"repro/internal/jobs"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perfreg"
 	"repro/internal/sched"
 	"repro/internal/schedule"
@@ -409,3 +410,49 @@ func PerfCompare(base, cur *PerfReport, opts PerfCompareOptions) *PerfComparison
 // ReadPerfReport parses a BENCH_<seq>.json, rejecting unknown schema
 // versions.
 func ReadPerfReport(path string) (*PerfReport, error) { return perfreg.ReadReport(path) }
+
+// Observability: the dependency-free metrics layer behind
+// flexray-serve's GET /metrics and the optimiser trace capture.
+type (
+	// MetricsRegistry holds named instrument families (counters,
+	// gauges, histograms, scrape-time funcs) and writes them in the
+	// Prometheus text exposition format; it implements http.Handler.
+	MetricsRegistry = obs.Registry
+	// MetricCounter is a monotonically increasing atomic counter.
+	MetricCounter = obs.Counter
+	// MetricGauge is an atomic instantaneous value.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket latency/size distribution.
+	MetricHistogram = obs.Histogram
+	// OptTraceEvent is one explored candidate of an optimiser run:
+	// iteration, cost, incumbent best, SA temperature and accept rate.
+	// (TraceEvent names the simulator's bus-level trace entry.)
+	OptTraceEvent = obs.TraceEvent
+	// OptTraceFunc receives trace events; set Options.Trace to hook an
+	// optimiser run.
+	OptTraceFunc = obs.TraceFunc
+	// OptTraceRing is a bounded, concurrency-safe ring of the most
+	// recent trace events, with a lifetime total for drop accounting.
+	OptTraceRing = obs.TraceRing
+	// OptTraceSnapshot is a point-in-time copy of a ring's contents.
+	OptTraceSnapshot = obs.TraceSnapshot
+	// JobMetrics bridges one JobManager's telemetry into a registry;
+	// see NewJobMetrics and JobManagerOptions.Metrics.
+	JobMetrics = jobs.Metrics
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RegisterGoRuntimeMetrics adds the go_* runtime families (goroutines,
+// heap, GC) to a registry.
+func RegisterGoRuntimeMetrics(r *MetricsRegistry) { obs.RegisterGoRuntime(r) }
+
+// NewOptTraceRing returns a trace ring retaining the most recent
+// capacity events; its Record method satisfies OptTraceFunc.
+func NewOptTraceRing(capacity int) *OptTraceRing { return obs.NewTraceRing(capacity) }
+
+// NewJobMetrics registers the job-manager and store instrument
+// families on r; pass the result to exactly one manager via
+// JobManagerOptions.Metrics.
+func NewJobMetrics(r *MetricsRegistry) *JobMetrics { return jobs.NewMetrics(r) }

@@ -245,6 +245,7 @@ func evaluateSystem(ctx context.Context, idx int, sp synth.Params, opts core.Opt
 func optimiseSystem(ctx context.Context, rec *Record, sys *model.System, opts core.Options, copts Options) {
 	engine := NewEngine(ctx, copts.Engine)
 	runOpts := engine.Hook(opts)
+	runOpts.Trace = stampSystem(runOpts.Trace, sys.Name)
 
 	var (
 		obcCfg  *flexray.Config

@@ -135,6 +135,7 @@ func Portfolio(ctx context.Context, sys *model.System, opts core.Options, eng En
 	start := time.Now()
 	engine := NewEngine(ctx, eng)
 	runOpts := engine.Hook(opts)
+	runOpts.Trace = stampSystem(runOpts.Trace, sys.Name)
 
 	runs := make([]AlgoRun, len(algs))
 	var wg sync.WaitGroup

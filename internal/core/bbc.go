@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/flexray"
@@ -16,8 +15,7 @@ import (
 // the configuration with the best cost function.
 func BBC(sys *model.System, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
-	e := &evaluator{sys: sys, opts: opts}
+	e := newEvaluator(sys, opts, "BBC")
 
 	if err := checkSTFits(sys, opts.Params); err != nil {
 		return nil, err
@@ -71,6 +69,7 @@ func BBC(sys *model.System, opts Options) (*Result, error) {
 	)
 	ress, costs, n := e.evalBatch(cands) // lines 8-9
 	for i := 0; i < n; i++ {
+		e.traceEvent(costs[i], 0, 0, e.improved(costs[i]))
 		if costs[i] < bestCost { // line 10
 			best, bestRes, bestCost = cands[i], ress[i], costs[i]
 		}
@@ -78,5 +77,5 @@ func BBC(sys *model.System, opts Options) (*Result, error) {
 	if best == nil {
 		return nil, errNoDYNRoom
 	}
-	return e.finish("BBC", best, bestRes, bestCost, start), nil
+	return e.finish(best, bestRes, bestCost), nil
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/flexray"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/units"
 )
@@ -92,6 +93,16 @@ type Options struct {
 	// candidate configurations. Results are unchanged for any pure
 	// hook; see EvalHook.
 	Eval EvalHook
+
+	// Trace, when non-nil, receives one obs.TraceEvent per explored
+	// candidate — the convergence curve of the run (SA additionally
+	// reports temperature and acceptance statistics). The hook runs
+	// inline on the optimiser goroutine and must be safe for
+	// concurrent use when the options are shared across concurrently
+	// running optimisers (campaign portfolios are). A nil hook costs
+	// a single branch per candidate and never allocates, keeping the
+	// pinned session-evaluation allocation count intact.
+	Trace obs.TraceFunc
 
 	// SAIterations bounds the simulated annealing run.
 	SAIterations int
@@ -186,12 +197,59 @@ const infeasibleCost = 1e15
 // for candidate configurations and counts the evaluations. The built-in
 // path owns one evaluation Session, created lazily, so every candidate
 // of one optimiser invocation reuses the same analyzer state and
-// schedule-table memo.
+// schedule-table memo. It also carries the run identity (algorithm,
+// start time) and the trace state: a monotone event counter plus the
+// running best cost stamped onto every emitted event.
 type evaluator struct {
 	sys   *model.System
 	opts  Options
+	alg   string
+	start time.Time
 	evals int
 	sess  *Session
+
+	// Trace state; only touched when opts.Trace is installed.
+	iter int
+	best float64
+}
+
+// newEvaluator starts an optimisation run for one algorithm.
+func newEvaluator(sys *model.System, opts Options, alg string) *evaluator {
+	return &evaluator{sys: sys, opts: opts, alg: alg, start: time.Now(), best: math.Inf(1)}
+}
+
+// traceEvent reports one explored candidate to the installed trace
+// hook. Without a hook the call is a single branch; with one, the
+// evaluator maintains the running best cost so every event carries the
+// convergence envelope. temp/acceptRate/accepted are the SA annealing
+// state; deterministic sweeps pass temp 0 and accepted = "improved the
+// incumbent".
+func (e *evaluator) traceEvent(cost, temp, acceptRate float64, accepted bool) {
+	if e.opts.Trace == nil {
+		return
+	}
+	if cost < e.best {
+		e.best = cost
+	}
+	e.opts.Trace(obs.TraceEvent{
+		Algorithm:   e.alg,
+		Iteration:   e.iter,
+		Evaluations: e.evals,
+		Cost:        cost,
+		BestCost:    e.best,
+		Temperature: temp,
+		AcceptRate:  acceptRate,
+		Accepted:    accepted,
+		ElapsedUs:   time.Since(e.start).Microseconds(),
+	})
+	e.iter++
+}
+
+// improved reports whether cost beats every candidate traced so far —
+// the accepted flag of non-SA trace events. Meaningless (but harmless)
+// without a trace hook, as the running best is only maintained there.
+func (e *evaluator) improved(cost float64) bool {
+	return cost < e.best
 }
 
 // session returns the evaluator's built-in evaluation session.
@@ -447,14 +505,14 @@ func assignSlotsByQuota(sys *model.System, numSlots int) []model.NodeID {
 }
 
 // finish packages a result.
-func (e *evaluator) finish(alg string, cfg *flexray.Config, res *analysis.Result, cost float64, start time.Time) *Result {
+func (e *evaluator) finish(cfg *flexray.Config, res *analysis.Result, cost float64) *Result {
 	r := &Result{
 		Config:      cfg,
 		Analysis:    res,
 		Cost:        cost,
 		Evaluations: e.evals,
-		Elapsed:     time.Since(start),
-		Algorithm:   alg,
+		Elapsed:     time.Since(e.start),
+		Algorithm:   e.alg,
 	}
 	if res != nil {
 		r.Schedulable = res.Schedulable

@@ -27,6 +27,7 @@ func curveFitDYN(e *evaluator, cfg *flexray.Config) (*flexray.Config, *analysis.
 			return nil, nil, infeasibleCost * 2
 		}
 		res, cost := e.eval(cand)
+		e.traceEvent(cost, 0, 0, e.improved(cost))
 		return cand, res, cost
 	}
 
@@ -144,6 +145,7 @@ func (cf *curveFit) addPoint(nMS int) *evalPoint {
 		return cf.pts[nMS]
 	}
 	res, cost := cf.e.eval(cand)
+	cf.e.traceEvent(cost, 0, 0, cf.e.improved(cost))
 	p := &evalPoint{nMS: nMS, x: cf.x(nMS), cfg: cand, res: res, cost: cost}
 	if res != nil {
 		app := &cf.e.sys.App

@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/flexray"
@@ -37,8 +36,7 @@ func OBCCF(sys *model.System, opts Options) (*Result, error) {
 // seen is returned.
 func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
-	e := &evaluator{sys: sys, opts: opts}
+	e := newEvaluator(sys, opts, alg)
 
 	if err := checkSTFits(sys, opts.Params); err != nil {
 		return nil, err
@@ -86,7 +84,7 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 			if cand != nil {
 				best, bestRes, bestCost = cand, res, cost
 				if cost <= 0 {
-					return e.finish(alg, cand, res, cost, start), nil
+					return e.finish(cand, res, cost), nil
 				}
 			}
 		}
@@ -113,7 +111,7 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 				best, bestRes, bestCost = cand, res, cost
 			}
 			if cost <= 0 && cand != nil { // line 7: feasible, stop
-				return e.finish(alg, cand, res, cost, start), nil
+				return e.finish(cand, res, cost), nil
 			}
 		}
 		if numSlots == maxSlots && minSlots == 0 {
@@ -131,7 +129,7 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 	if best == nil {
 		return nil, errNoDYNRoom
 	}
-	return e.finish(alg, best, bestRes, bestCost, start), nil
+	return e.finish(best, bestRes, bestCost), nil
 }
 
 // exhaustiveDYN evaluates every dynamic segment size on the sweep grid
@@ -167,6 +165,7 @@ func exhaustiveDYN(e *evaluator, cfg *flexray.Config) (*flexray.Config, *analysi
 	)
 	ress, costs, n := e.evalBatch(cands)
 	for i := 0; i < n; i++ {
+		e.traceEvent(costs[i], 0, 0, e.improved(costs[i]))
 		if costs[i] < bestCost {
 			best, bestRes, bestCost = cands[i], ress[i], costs[i]
 		}

@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"repro/internal/flexray"
 	"repro/internal/model"
@@ -17,8 +16,7 @@ import (
 // nodes, and assignment of FrameIDs to messages.
 func SA(sys *model.System, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
-	e := &evaluator{sys: sys, opts: opts}
+	e := newEvaluator(sys, opts, "SA")
 	rng := rand.New(rand.NewSource(opts.SASeed))
 
 	if err := checkSTFits(sys, opts.Params); err != nil {
@@ -67,7 +65,9 @@ func SA(sys *model.System, opts Options) (*Result, error) {
 		// iteration.
 		cooling = math.Pow(1e-3, 1/float64(opts.SAIterations))
 	}
+	e.traceEvent(curCost, temp, 1, true) // the starting point
 
+	accepts := 0
 	for i := 0; i < opts.SAIterations && !e.exhausted(); i++ {
 		cand := mutate(sys, cur, rng, opts, senders)
 		if cand == nil {
@@ -80,15 +80,18 @@ func SA(sys *model.System, opts Options) (*Result, error) {
 		}
 		res, cost := e.eval(cand)
 		delta := cost - curCost
-		if delta < 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-9)) {
+		accepted := delta < 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
+		if accepted {
+			accepts++
 			cur, curCost = cand, cost
 			if cost < bestCost {
 				best, bestRes, bestCost = cand, res, cost
 			}
 		}
+		e.traceEvent(cost, temp, float64(accepts)/float64(i+1), accepted)
 		temp *= cooling
 	}
-	return e.finish("SA", best, bestRes, bestCost, start), nil
+	return e.finish(best, bestRes, bestCost), nil
 }
 
 // mutate applies one random move to a clone of cfg; nil means the move

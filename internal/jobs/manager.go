@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // ManagerOptions tune a job manager.
@@ -43,7 +44,25 @@ type ManagerOptions struct {
 	// Logf receives operational messages (store append failures,
 	// replay summaries, compaction outcomes); nil selects log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, publishes the manager's telemetry —
+	// queue depth, per-state gauges, submit→start latency, run
+	// durations, store append/compaction timings — into the metrics
+	// registry the Metrics value was built over. One Metrics value
+	// serves exactly one manager. Nil disables instrumentation at
+	// zero cost.
+	Metrics *Metrics
+	// TraceCap bounds the per-job optimiser trace ring (the
+	// convergence curve behind /v1/jobs/{id}/trace): the last
+	// TraceCap events per optimize/campaign job are retained in
+	// memory. 0 selects DefaultTraceCap; negative disables capture.
+	// Traces are not persisted: jobs replayed from the store report
+	// an empty trace.
+	TraceCap int
 }
+
+// DefaultTraceCap is the per-job optimiser trace bound used when
+// ManagerOptions.TraceCap is zero.
+const DefaultTraceCap = 2048
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
 	if o.Workers <= 0 {
@@ -57,6 +76,9 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
+	}
+	if o.TraceCap == 0 {
+		o.TraceCap = DefaultTraceCap
 	}
 	return o
 }
@@ -115,6 +137,10 @@ type job struct {
 	// RetentionPolicy.MaxResultBytes while the job is retained.
 	resultBytes int64
 	subs        map[*subscriber]struct{}
+	// trace is the bounded optimiser event ring, installed when the
+	// job starts running (optimize/campaign kinds with capture on).
+	// In-memory only; replayed jobs have none.
+	trace *obs.TraceRing
 }
 
 func (j *job) snapshot() Job {
@@ -221,6 +247,9 @@ func NewManager(store Store, opts ManagerOptions) (*Manager, error) {
 	}
 	// Replayed state may exceed a (new or tightened) retention policy.
 	m.applyRetention()
+	if opts.Metrics != nil {
+		opts.Metrics.bind(m)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -433,9 +462,11 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	// insert) keeps a concurrent compaction from rewriting the store
 	// after the append but before the job is visible to its snapshot.
 	m.gate.RLock()
+	appendStart := time.Now()
 	err := m.store.Append(StoreRecord{
 		Type: recordSubmit, ID: j.id, Time: j.submittedAt, Spec: &spec,
 	})
+	m.opts.Metrics.observeAppend(time.Since(appendStart), err)
 	if err == nil {
 		m.dirty.Add(1)
 	}
@@ -455,6 +486,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	snap := j.snapshot()
 	m.mu.Unlock()
 	m.gate.RUnlock()
+	m.opts.Metrics.observeSubmitted()
 	m.signal(1)
 	return snap, nil
 }
@@ -519,6 +551,30 @@ func (m *Manager) Result(id string) (*Result, Job, error) {
 	return j.result, snap, nil
 }
 
+// Trace returns the optimiser trace captured for a job (the bounded
+// convergence-curve ring) together with the job snapshot. The snapshot
+// reports how many events were recorded in total, so callers can tell
+// how many early events the bound evicted. Traces live in memory only:
+// jobs replayed from the store after a restart, sweep jobs (which run
+// no optimiser) and managers with TraceCap < 0 all report an empty
+// snapshot — never an error.
+func (m *Manager) Trace(id string) (obs.TraceSnapshot, Job, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		err := m.missingLocked(id)
+		m.mu.Unlock()
+		return obs.TraceSnapshot{}, Job{}, err
+	}
+	snap := j.snapshot()
+	ring := j.trace
+	m.mu.Unlock()
+	if ring == nil {
+		return obs.TraceSnapshot{Events: []obs.TraceEvent{}}, snap, nil
+	}
+	return ring.Snapshot(), snap, nil
+}
+
 // Cancel cancels a job: a queued one terminates immediately, a running
 // one is cancelled cooperatively (its engine drains and the worker
 // marks it cancelled). Terminal jobs fail with ErrTerminal.
@@ -561,6 +617,7 @@ func (m *Manager) cancelJob(id string) (snap Job, evict bool, err error) {
 		snap := j.snapshot()
 		m.mu.Unlock()
 		m.appendStatus(rec)
+		m.opts.Metrics.observeFinished(StatusCancelled, 0)
 		return snap, true, nil
 	default: // running
 		j.userCancel = true
@@ -643,7 +700,10 @@ func (m *Manager) closeSubsLocked(j *job) {
 // failing store is logged, not fatal — the in-memory state stays
 // authoritative.
 func (m *Manager) appendStatus(rec StoreRecord) {
-	if err := m.store.Append(rec); err != nil {
+	start := time.Now()
+	err := m.store.Append(rec)
+	m.opts.Metrics.observeAppend(time.Since(start), err)
+	if err != nil {
 		m.opts.Logf("jobs: store append (%s %s %s): %v", rec.Type, rec.ID, rec.Status, err)
 		return
 	}
@@ -723,11 +783,13 @@ func (m *Manager) startNext() (*job, context.Context) {
 	j.cancel = cancel
 	j.status = StatusRunning
 	j.startedAt = time.Now()
+	delay := j.startedAt.Sub(j.submittedAt)
 	rec := StoreRecord{
 		Type: recordStatus, ID: j.id, Time: j.startedAt, Status: StatusRunning,
 	}
 	m.publishLocked(j, "update")
 	m.mu.Unlock()
+	m.opts.Metrics.observeStartDelay(delay)
 	m.appendStatus(rec)
 	return j, ctx
 }
@@ -747,6 +809,7 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 	if cancel := j.cancel; cancel != nil {
 		defer cancel() // release the context's resources
 	}
+	started := j.startedAt
 	var rec StoreRecord
 	switch {
 	case err == nil:
@@ -774,10 +837,16 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 		rec = m.finishLocked(j, StatusFailed, err.Error(), nil, 0)
 	}
 	terminal := j.status.Terminal()
+	final := j.status
+	var runDur time.Duration
+	if terminal {
+		runDur = j.finishedAt.Sub(started)
+	}
 	m.mu.Unlock()
 	m.appendStatus(rec)
 	m.gate.RUnlock()
 	if terminal {
+		m.opts.Metrics.observeFinished(final, runDur)
 		m.applyRetention()
 	}
 }
@@ -842,9 +911,11 @@ func (m *Manager) Compact() error {
 	m.mu.Lock()
 	recs := m.snapshotLocked()
 	m.mu.Unlock()
+	compactStart := time.Now()
 	if err := comp.Compact(recs); err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	m.opts.Metrics.observeCompact(time.Since(compactStart))
 	m.dirty.Store(0)
 	m.mu.Lock()
 	m.compactions++

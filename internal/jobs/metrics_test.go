@@ -1,0 +1,163 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestManagerMetrics runs a job through an instrumented manager and
+// checks that every layer's telemetry moved: submit counter, terminal
+// counter, latency histograms, store append timings, and the
+// scrape-time state gauges.
+func TestManagerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestManager(t, nil, ManagerOptions{Workers: 1, Metrics: NewMetrics(reg)})
+	raw := sysJSON(t, 2, 3)
+	job, err := m.Submit(Spec{
+		Kind: KindOptimize, System: raw,
+		Algorithms: []string{"bbc"}, Tuning: quickTuning(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, job.ID, StatusDone)
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"flexray_jobs_submitted_total 1",
+		`flexray_jobs_finished_total{status="done"} 1`,
+		`flexray_jobs_state{state="done"} 1`,
+		`flexray_jobs_state{state="running"} 0`,
+		"flexray_jobs_queue_depth 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Histograms observed at least once each.
+	for _, fam := range []string{
+		"flexray_jobs_start_delay_seconds_count 1",
+		"flexray_jobs_run_seconds_count 1",
+		"flexray_store_compact_seconds_count 1",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("scrape missing %q\n%s", fam, body)
+		}
+	}
+	// Submit + running + done transitions all appended to the store.
+	if strings.Contains(body, "flexray_store_append_seconds_count 0") {
+		t.Error("store append histogram never observed")
+	}
+}
+
+// TestJobTrace pins the trace capture contract: an optimize job
+// records a bounded, non-empty convergence trace; a sweep job (no
+// optimiser) reports an empty one; unknown IDs fail as Get does.
+func TestJobTrace(t *testing.T) {
+	const ringCap = 32
+	m := newTestManager(t, nil, ManagerOptions{Workers: 1, TraceCap: ringCap})
+	raw := sysJSON(t, 2, 3)
+	job, err := m.Submit(Spec{
+		Kind: KindOptimize, System: raw,
+		Algorithms: []string{"bbc", "sa"}, Tuning: quickTuning(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, job.ID, StatusDone)
+
+	snap, got, err := m.Trace(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != job.ID || got.Status != StatusDone {
+		t.Fatalf("trace snapshot job = %+v", got)
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("finished optimize job has no trace events")
+	}
+	if len(snap.Events) > ringCap {
+		t.Fatalf("ring retained %d events, cap %d", len(snap.Events), ringCap)
+	}
+	if snap.Total < uint64(len(snap.Events)) {
+		t.Fatalf("total %d < retained %d", snap.Total, len(snap.Events))
+	}
+	algos := map[string]bool{}
+	for _, ev := range snap.Events {
+		algos[ev.Algorithm] = true
+		// BestCost is the running minimum over traced candidates, so
+		// it can never exceed the event's own cost.
+		if ev.BestCost > ev.Cost+1e-9 {
+			t.Fatalf("event best %v above its own cost %v", ev.BestCost, ev.Cost)
+		}
+	}
+	if !algos["SA"] {
+		t.Errorf("no SA events in trace (got %v)", algos)
+	}
+
+	if _, _, err := m.Trace("j-missing"); err != ErrNotFound {
+		t.Fatalf("missing job trace error = %v, want ErrNotFound", err)
+	}
+}
+
+// TestTraceDisabled: TraceCap < 0 switches capture off entirely.
+func TestTraceDisabled(t *testing.T) {
+	m := newTestManager(t, nil, ManagerOptions{Workers: 1, TraceCap: -1})
+	raw := sysJSON(t, 2, 3)
+	job, err := m.Submit(Spec{
+		Kind: KindOptimize, System: raw,
+		Algorithms: []string{"bbc"}, Tuning: quickTuning(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, job.ID, StatusDone)
+	snap, _, err := m.Trace(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Events) != 0 || snap.Total != 0 {
+		t.Fatalf("capture disabled but trace has %d events (total %d)", len(snap.Events), snap.Total)
+	}
+}
+
+// TestCampaignTraceSystems: campaign traces stamp the system name so
+// one ring distinguishes per-system convergence curves.
+func TestCampaignTraceSystems(t *testing.T) {
+	m := newTestManager(t, nil, ManagerOptions{Workers: 1})
+	pop := &Population{NodeCounts: []int{2}, AppsPerCount: 2, Seed: 1, DeadlineFactor: 2.0}
+	job, err := m.Submit(Spec{
+		Kind: KindCampaign, Population: pop,
+		Algorithms: []string{"bbc"}, Tuning: quickTuning(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, job.ID, StatusDone)
+	snap, _, err := m.Trace(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("campaign job has no trace events")
+	}
+	systems := map[string]bool{}
+	for _, ev := range snap.Events {
+		if ev.System == "" {
+			t.Fatal("campaign trace event without a system name")
+		}
+		systems[ev.System] = true
+	}
+	if len(systems) < 2 {
+		t.Fatalf("expected events from 2 systems, got %v", systems)
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each
+// preceded by its # HELP and # TYPE lines, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		writeHeader(bw, f)
+		for _, s := range sortedSeries(f) {
+			if s.hist != nil {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			writeName(bw, f.name, s.labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(s.value()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedSeries(f *family) []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	return out
+}
+
+func writeHeader(w *bufio.Writer, f *family) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ)
+	w.WriteByte('\n')
+}
+
+// writeName writes `name{k="v",...}` with an optional extra label
+// (used for the histogram le bound) appended after the fixed labels.
+func writeName(w *bufio.Writer, name string, labels []string, extraKey, extraVal string) {
+	w.WriteString(name)
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(labels[i])
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(labels[i+1]))
+		w.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraKey)
+		w.WriteString(`="`)
+		w.WriteString(extraVal)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func writeHistogram(w *bufio.Writer, name string, s *series) {
+	cum, count, sum := s.hist.snapshot()
+	for i, bound := range s.hist.bounds {
+		writeName(w, name+"_bucket", s.labels, "le", formatFloat(bound))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(cum[i], 10))
+		w.WriteByte('\n')
+	}
+	writeName(w, name+"_bucket", s.labels, "le", "+Inf")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum[len(cum)-1], 10))
+	w.WriteByte('\n')
+	writeName(w, name+"_sum", s.labels, "", "")
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(sum))
+	w.WriteByte('\n')
+	writeName(w, name+"_count", s.labels, "", "")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(count, 10))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value; Prometheus spells infinities
+// +Inf/-Inf and accepts Go's shortest-round-trip 'g' form otherwise.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes help text: backslash and newline only (quotes are
+// legal in help).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ServeHTTP makes a Registry mountable as the /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.Set("Cache-Control", "no-store")
+	// Errors past this point are client disconnects; the scrape body
+	// cannot be repaired once streaming has started.
+	_ = r.WriteText(w)
+}
+
+// memStatsWindow bounds how often a scrape may trigger a (briefly
+// stop-the-world) runtime.ReadMemStats: one read serves all memory
+// metrics of a scrape, and rescrapes within the window reuse it.
+const memStatsWindow = 100 * time.Millisecond
+
+// RegisterGoRuntime registers the Go runtime family — goroutine count,
+// heap usage, cumulative allocation and GC cycle/pause totals — on r.
+// Values are gathered lazily at scrape time.
+func RegisterGoRuntime(r *Registry) {
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		last time.Time
+	)
+	mem := func(read func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if now := time.Now(); now.Sub(last) > memStatsWindow {
+				runtime.ReadMemStats(&ms)
+				last = now
+			}
+			return read(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.GaugeFunc("go_sys_bytes", "Bytes of memory obtained from the OS.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	r.CounterFunc("go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	r.CounterFunc("go_gc_cycles_total", "Number of completed GC cycles.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition walks a text-format body line by line, enforcing the
+// structural rules of the format: every sample belongs to a family
+// announced by # HELP then # TYPE (in that order), family blocks never
+// interleave, and sample lines are `name{labels} value`. It returns
+// the family type by name and the raw sample lines per family.
+func parseExposition(t *testing.T, body string) (types map[string]string, samples map[string][]string) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string][]string{}
+	var current string // family currently open
+	var sawHelp, sawType bool
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if name == current {
+				t.Fatalf("line %d: duplicate HELP for %q", ln+1, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: family %q re-opened; blocks must not interleave", ln+1, name)
+			}
+			current, sawHelp, sawType = name, true, false
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if fields[0] != current || !sawHelp {
+				t.Fatalf("line %d: TYPE for %q not directly after its HELP", ln+1, fields[0])
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, fields[1])
+			}
+			types[current] = fields[1]
+			sawType = true
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			fam := name
+			if _, ok := types[base]; ok && types[base] == "histogram" {
+				fam = base
+			}
+			if fam != current || !sawType {
+				t.Fatalf("line %d: sample %q outside its family block (current %q)", ln+1, name, current)
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("line %d: sample without value: %q", ln+1, line)
+			}
+			val := line[sp+1:]
+			if val != "+Inf" && val != "-Inf" && val != "NaN" {
+				if _, err := strconv.ParseFloat(val, 64); err != nil {
+					t.Fatalf("line %d: unparseable sample value %q: %v", ln+1, val, err)
+				}
+			}
+			samples[fam] = append(samples[fam], line)
+		}
+	}
+	return types, samples
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_req_total", "requests", "code", "200").Add(3)
+	r.Counter("z_req_total", "requests", "code", "500").Inc()
+	r.Gauge("a_depth", "queue depth").Set(7)
+	h := r.Histogram("m_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	types, samples := parseExposition(t, body)
+
+	if types["z_req_total"] != "counter" || types["a_depth"] != "gauge" || types["m_lat_seconds"] != "histogram" {
+		t.Fatalf("family types wrong: %v", types)
+	}
+	// Families render sorted by name.
+	if ia, im := strings.Index(body, "a_depth"), strings.Index(body, "m_lat_seconds"); ia > im {
+		t.Fatal("families not sorted by name")
+	}
+	if len(samples["z_req_total"]) != 2 {
+		t.Fatalf("want 2 counter series, got %v", samples["z_req_total"])
+	}
+	if !strings.Contains(body, `z_req_total{code="200"} 3`) {
+		t.Fatalf("labelled counter sample missing:\n%s", body)
+	}
+
+	// Histogram: bucket counts must be cumulative/monotone, carry an
+	// +Inf bucket equal to _count, and _sum must match.
+	var prev uint64
+	var infSeen bool
+	for _, line := range samples["m_lat_seconds"] {
+		switch {
+		case strings.HasPrefix(line, "m_lat_seconds_bucket"):
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value: %v", err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not monotone at %q", line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infSeen = true
+				if v != 3 {
+					t.Fatalf("+Inf bucket = %d, want 3", v)
+				}
+			}
+		case strings.HasPrefix(line, "m_lat_seconds_count"):
+			if !strings.HasSuffix(line, " 3") {
+				t.Fatalf("_count = %q, want 3", line)
+			}
+		case strings.HasPrefix(line, "m_lat_seconds_sum"):
+			v, _ := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if v < 5.054 || v > 5.056 {
+				t.Fatalf("_sum = %v, want ~5.055", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no le=\"+Inf\" bucket rendered")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", "path", "a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped label not found; want %q in:\n%s", want, sb.String())
+	}
+	// The rendered body must stay single-line-per-sample: the raw
+	// newline in the label value may not split the sample.
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, " ") {
+			t.Fatalf("sample split across lines: %q", line)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("h_esc", "line one\nline two \\ done").Set(1)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP h_esc line one\nline two \\ done`) {
+		t.Fatalf("help text not escaped:\n%s", sb.String())
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	r.Counter("served_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("cache control = %q", cc)
+	}
+	types, _ := parseExposition(t, rec.Body.String())
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_seconds_total", "served_total"} {
+		if _, ok := types[name]; !ok {
+			t.Fatalf("metric %q missing from scrape", name)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("test_total", "help"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c_total", "h").Add(-1)
+}
+
+func TestLabelledFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("req_total", "h", "code", "200")
+	b := r.Counter("req_total", "h", "code", "500")
+	if a == b {
+		t.Fatal("distinct label sets shared an instrument")
+	}
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Fatalf("labelled counters = %v/%v, want 2/1", a.Value(), b.Value())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("bad-name", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	// le=0.1 holds 0.05 and the boundary value 0.1; cumulative counts
+	// must be monotone and end at the total.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-102.65) > 1e-9 {
+		t.Fatalf("sum = %v, want 102.65", sum)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.GaugeFunc("fn_gauge", "h", func() float64 { v++; return v })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_gauge 42") {
+		t.Fatalf("callback gauge not rendered:\n%s", sb.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate callback registration did not panic")
+		}
+	}()
+	r.GaugeFunc("fn_gauge", "h", func() float64 { return 0 })
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "h")
+	r.Gauge("a_gauge", "h")
+	r.Histogram("c_seconds", "h", DefBuckets)
+	got := r.Names()
+	want := []string{"a_gauge", "b_total", "c_seconds"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentInstruments hammers one counter, gauge and histogram
+// from many goroutines while a scraper renders continuously; run under
+// -race this is the data-race proof, and the final counts prove no
+// increment was lost.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h")
+	g := r.Gauge("hammer_gauge", "h")
+	h := r.Histogram("hammer_seconds", "h", DefBuckets)
+
+	const workers, perWorker = 8, 5000
+	var scraper, hammer sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WriteText(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		hammer.Add(1)
+		go func(seed int) {
+			defer hammer.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(seed*i%7) * 0.01)
+				// Lazy lookup from the hot path must also be safe.
+				r.Counter("hammer_total", "h").Add(0)
+			}
+		}(w + 1)
+	}
+	hammer.Wait()
+	close(stop)
+	scraper.Wait()
+
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Fatalf("counter lost increments: %v, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Fatalf("gauge lost increments: %v, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram lost observations: %d, want %d", got, total)
+	}
+}
+
+// TestInstrumentAllocs pins the hot-path instrument operations at zero
+// heap allocations — the contract that lets the eval and store paths
+// carry metrics without moving the perfreg allocation gates.
+func TestInstrumentAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "h")
+	g := r.Gauge("alloc_gauge", "h")
+	h := r.Histogram("alloc_seconds", "h", DefBuckets)
+	if n := testing.AllocsPerRun(100, func() { c.Inc(); g.Set(1); h.Observe(0.01) }); n != 0 {
+		t.Fatalf("instrument ops allocate %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import "sync"
+
+// TraceEvent is one step of an optimiser run: the candidate just
+// evaluated, the running best, and — for simulated annealing — the
+// temperature and acceptance statistics. A sequence of events is the
+// convergence curve of the run (cost over evaluations/time), the view
+// the source paper plots in its Section 7 experiments.
+//
+// Algorithm is the emitting optimiser ("SA", "BBC", "OBC-CF",
+// "OBC-EE"); System is stamped by the campaign layer when one job
+// spans many systems. Temperature, AcceptRate and Accepted carry
+// SA-specific meaning; deterministic sweeps report Accepted as "the
+// candidate improved the incumbent" and leave Temperature zero.
+type TraceEvent struct {
+	Algorithm   string  `json:"algorithm"`
+	System      string  `json:"system,omitempty"`
+	Iteration   int     `json:"iteration"`
+	Evaluations int     `json:"evaluations"`
+	Cost        float64 `json:"cost"`
+	BestCost    float64 `json:"best_cost"`
+	Temperature float64 `json:"temperature,omitempty"`
+	AcceptRate  float64 `json:"accept_rate,omitempty"`
+	Accepted    bool    `json:"accepted"`
+	ElapsedUs   int64   `json:"elapsed_us"`
+}
+
+// TraceFunc receives trace events from an optimiser loop. Hooks must
+// be safe for concurrent use when shared across concurrently running
+// optimisers (a portfolio run emits from one goroutine per algorithm).
+type TraceFunc func(TraceEvent)
+
+// TraceSnapshot is a point-in-time copy of a ring: the retained events
+// in emission order plus the lifetime total, so readers can tell how
+// many early events the bound evicted (Total - len(Events)).
+type TraceSnapshot struct {
+	Events []TraceEvent `json:"events"`
+	Total  uint64       `json:"total_events"`
+}
+
+// TraceRing is a bounded, concurrency-safe event buffer: it keeps the
+// most recent cap events and counts everything ever recorded. One ring
+// per job bounds trace memory no matter how long an optimiser runs.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	next  int // index the next event lands in once the ring is full
+	total uint64
+}
+
+// NewTraceRing returns a ring retaining the last cap events; cap must
+// be positive.
+func NewTraceRing(cap int) *TraceRing {
+	if cap <= 0 {
+		panic("obs: trace ring capacity must be positive")
+	}
+	return &TraceRing{buf: make([]TraceEvent, 0, cap)}
+}
+
+// Record appends an event, evicting the oldest once full. The method
+// value ring.Record satisfies TraceFunc.
+func (r *TraceRing) Record(ev TraceEvent) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot copies the retained events in emission order.
+func (r *TraceRing) Snapshot() TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]TraceEvent, 0, len(r.buf))
+	events = append(events, r.buf[r.next:]...)
+	events = append(events, r.buf[:r.next]...)
+	return TraceSnapshot{Events: events, Total: r.total}
+}
+
+// Total returns the lifetime event count, including evicted events.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

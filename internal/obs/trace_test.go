@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingBounded(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(TraceEvent{Iteration: i})
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap.Events))
+	}
+	if snap.Total != 10 {
+		t.Fatalf("total = %d, want 10", snap.Total)
+	}
+	// Oldest-first emission order, keeping the most recent events.
+	for i, ev := range snap.Events {
+		if ev.Iteration != 6+i {
+			t.Fatalf("event %d iteration = %d, want %d", i, ev.Iteration, 6+i)
+		}
+	}
+}
+
+func TestTraceRingPartial(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 3; i++ {
+		r.Record(TraceEvent{Iteration: i})
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 3 || snap.Total != 3 {
+		t.Fatalf("snapshot = %d events / total %d, want 3/3", len(snap.Events), snap.Total)
+	}
+	for i, ev := range snap.Events {
+		if ev.Iteration != i {
+			t.Fatalf("event %d iteration = %d", i, ev.Iteration)
+		}
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(TraceEvent{Iteration: i})
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != 4000 {
+		t.Fatalf("total = %d, want 4000", got)
+	}
+	if n := len(r.Snapshot().Events); n != 64 {
+		t.Fatalf("retained %d, want 64", n)
+	}
+}
+
+func TestTraceRingInvalidCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewTraceRing(0)
+}
