@@ -88,22 +88,31 @@ func (s *server) route(pattern string, h http.HandlerFunc) {
 		s.inflight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		// Deferred so a panicking handler (recovered by net/http, which
+		// keeps the server alive) still restores the in-flight gauge and
+		// records the request; a panic before any write surfaces as 500.
+		defer func() {
+			elapsed := time.Since(start)
+			s.inflight.Dec()
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+				if recovered := recover(); recovered != nil {
+					code = http.StatusInternalServerError
+					defer panic(recovered) // re-raise for net/http's logging
+				}
+			}
+			s.reg.Counter("flexray_http_requests_total", helpHTTPRequests,
+				"route", path, "method", method, "code", strconv.Itoa(code)).Inc()
+			hist.Observe(elapsed.Seconds())
+			s.log.LogAttrs(r.Context(), levelFor(path, code), "request",
+				slog.String("id", id),
+				slog.String("method", method),
+				slog.String("route", path),
+				slog.Int("status", code),
+				slog.Duration("duration", elapsed))
+		}()
 		h(sw, r)
-		elapsed := time.Since(start)
-		s.inflight.Dec()
-		code := sw.code
-		if code == 0 {
-			code = http.StatusOK
-		}
-		s.reg.Counter("flexray_http_requests_total", helpHTTPRequests,
-			"route", path, "method", method, "code", strconv.Itoa(code)).Inc()
-		hist.Observe(elapsed.Seconds())
-		s.log.LogAttrs(r.Context(), levelFor(path, code), "request",
-			slog.String("id", id),
-			slog.String("method", method),
-			slog.String("route", path),
-			slog.Int("status", code),
-			slog.Duration("duration", elapsed))
 	})
 }
 

@@ -3,7 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -108,6 +111,53 @@ func TestJobTraceEndpoint(t *testing.T) {
 
 	if resp, _ := get(t, ts, "/v1/jobs/j-nope/trace"); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job trace: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPanicRestoresInFlight: a panicking handler (recovered by
+// net/http, which keeps the server alive) must still decrement the
+// in-flight gauge and record the request as a 500 — otherwise every
+// panic permanently inflates flexray_http_requests_in_flight.
+func TestPanicRestoresInFlight(t *testing.T) {
+	s, err := newServer(serverConfig{
+		Workers:       1,
+		MaxConcurrent: 1,
+		Timeout:       time.Minute,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.route("GET /panic", func(w http.ResponseWriter, r *http.Request) {
+		// ErrAbortHandler keeps net/http from dumping a stack trace
+		// into the test log; the middleware must handle any value.
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("job shutdown: %v", err)
+		}
+	})
+
+	if resp, err := http.Get(ts.URL + "/panic"); err == nil {
+		resp.Body.Close()
+		t.Fatalf("panicking handler answered %d, want aborted connection", resp.StatusCode)
+	}
+	if got := s.inflight.Value(); got != 0 {
+		t.Errorf("in-flight gauge %v after panic, want 0", got)
+	}
+	c := s.reg.Counter("flexray_http_requests_total", helpHTTPRequests,
+		"route", "/panic", "method", "GET", "code", "500")
+	if got := c.Value(); got != 1 {
+		t.Errorf("panic request counted %v times as 500, want 1", got)
+	}
+	// The server survived the panic.
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic: %d", resp.StatusCode)
 	}
 }
 

@@ -18,38 +18,44 @@ import (
 // preceded by its # HELP and # TYPE lines, histograms expanded into
 // cumulative _bucket{le=...} series plus _sum and _count.
 func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot families AND their series maps under the read lock:
+	// lookup inserts series under the write lock at request time (e.g.
+	// the first 404 on a route), so iterating f.series unlocked would
+	// race a concurrent scrape. Rendering happens outside the lock; the
+	// series pointers themselves are immutable once published and their
+	// values are atomics.
+	type famSnap struct {
+		fam    *family
+		series []*series
+	}
 	r.mu.RLock()
-	fams := make([]*family, 0, len(r.fams))
+	fams := make([]famSnap, 0, len(r.fams))
 	for _, f := range r.fams {
-		fams = append(fams, f)
+		out := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+		fams = append(fams, famSnap{fam: f, series: out})
 	}
 	r.mu.RUnlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	sort.Slice(fams, func(i, j int) bool { return fams[i].fam.name < fams[j].fam.name })
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
-		writeHeader(bw, f)
-		for _, s := range sortedSeries(f) {
+		writeHeader(bw, f.fam)
+		for _, s := range f.series {
 			if s.hist != nil {
-				writeHistogram(bw, f.name, s)
+				writeHistogram(bw, f.fam.name, s)
 				continue
 			}
-			writeName(bw, f.name, s.labels, "", "")
+			writeName(bw, f.fam.name, s.labels, "", "")
 			bw.WriteByte(' ')
 			bw.WriteString(formatFloat(s.value()))
 			bw.WriteByte('\n')
 		}
 	}
 	return bw.Flush()
-}
-
-func sortedSeries(f *family) []*series {
-	out := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
-	return out
 }
 
 func writeHeader(w *bufio.Writer, f *family) {

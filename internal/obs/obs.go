@@ -210,7 +210,7 @@ func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []st
 	r.mu.RLock()
 	if f, ok := r.fams[name]; ok {
 		s, ok := f.series[sig]
-		if ok && f.typ == typ {
+		if ok && f.typ == typ && s.fn == nil {
 			r.mu.RUnlock()
 			return s
 		}
@@ -228,6 +228,9 @@ func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []st
 		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
 	}
 	if s, ok := f.series[sig]; ok {
+		if s.fn != nil {
+			panic(fmt.Sprintf("obs: metric %q %v: registered as a callback series, cannot be re-obtained as an instrument", name, labels))
+		}
 		return s
 	}
 	s := &series{labels: append([]string(nil), labels...), sig: sig}

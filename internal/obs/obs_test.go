@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -114,6 +115,19 @@ func TestFuncMetrics(t *testing.T) {
 	r.GaugeFunc("fn_gauge", "h", func() float64 { return 0 })
 }
 
+func TestCallbackSeriesAsInstrumentPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("cb_gauge", "h", func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-obtaining a callback series as a typed instrument did not panic")
+		}
+	}()
+	// Without the guard this would return a series whose gauge is nil,
+	// deferring the failure to a confusing Set() far from this site.
+	r.Gauge("cb_gauge", "h")
+}
+
 func TestNames(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b_total", "h")
@@ -170,6 +184,11 @@ func TestConcurrentInstruments(t *testing.T) {
 				h.Observe(float64(seed*i%7) * 0.01)
 				// Lazy lookup from the hot path must also be safe.
 				r.Counter("hammer_total", "h").Add(0)
+				// First-seen label values insert new series under the
+				// write lock mid-scrape (the middleware does this on a
+				// route's first 404); the scraper must never iterate a
+				// family map concurrently with such an insert.
+				r.Counter("hammer_codes_total", "h", "code", strconv.Itoa(seed*perWorker+i)).Inc()
 			}
 		}(w + 1)
 	}
