@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -185,6 +186,61 @@ func TestPerfBaselineGate(t *testing.T) {
 	}
 }
 
+// TestPerfList drives `perf -list` against the real curated suite: one
+// catalogue row per scenario carrying the unit and the gate tolerances,
+// no measurement. The expectations are table-driven from the suite
+// itself so a scenario added or regated without showing up here fails.
+func TestPerfList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runPerf([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("perf -list = %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	suite := perfreg.Suite()
+	if got, want := len(lines), len(suite)+1; got != want {
+		t.Fatalf("perf -list printed %d lines, want %d (header + %d scenarios):\n%s",
+			got, want, len(suite), out)
+	}
+	for _, col := range []string{"scenario", "unit", "time-tol", "alloc-tol", "bytes-tol", "description"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("header misses %q: %q", col, lines[0])
+		}
+	}
+	tol := func(v float64) string {
+		switch {
+		case v < 0:
+			return "-"
+		case v == 0:
+			return "exact"
+		default:
+			return fmt.Sprintf("%.0f%%", v)
+		}
+	}
+	for i, sc := range suite {
+		row := lines[i+1]
+		timeTol := sc.TimeTolPct
+		if timeTol == 0 {
+			timeTol = perfreg.DefaultTimeTolPct
+		}
+		bytesTol := sc.BytesTolPct
+		if bytesTol == 0 {
+			bytesTol = perfreg.DefaultBytesTolPct
+		}
+		for _, want := range []string{sc.Name, sc.Unit, tol(timeTol), tol(sc.AllocTolPct), tol(bytesTol)} {
+			if !strings.Contains(row, want) {
+				t.Errorf("row %d misses %q: %q", i+1, want, row)
+			}
+		}
+	}
+	// -list never measures: a run of the full catalogue must be
+	// instant, so it cannot have produced a report file as a side
+	// effect.
+	if strings.Contains(stderr.String(), "report") {
+		t.Errorf("perf -list wrote a report: %s", stderr.String())
+	}
+}
+
 func TestPerfRejectsUnknownArgs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := runPerf([]string{"extra"}, &stdout, &stderr); code != 2 {
@@ -200,7 +256,7 @@ func TestPerfRejectsUnknownArgs(t *testing.T) {
 func TestPerfFlagsRegistered(t *testing.T) {
 	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
 	registerPerfFlags(fs)
-	for _, name := range []string{"quick", "out", "baseline", "time-tol", "seq"} {
+	for _, name := range []string{"quick", "list", "out", "baseline", "time-tol", "seq"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("perf flag -%s not registered", name)
 		}

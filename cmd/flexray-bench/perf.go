@@ -18,6 +18,7 @@ import (
 // registerPerfFlags so the docs-drift guard can enumerate them.
 type perfOptions struct {
 	quick    bool
+	list     bool
 	out      string
 	baseline string
 	timeTol  float64
@@ -30,6 +31,8 @@ func registerPerfFlags(fs *flag.FlagSet) *perfOptions {
 	o := &perfOptions{}
 	fs.BoolVar(&o.quick, "quick", false,
 		"reduced sampling for CI smoke runs (timings get noisier; allocation counts stay identical to a full run)")
+	fs.BoolVar(&o.list, "list", false,
+		"print the scenario catalogue (name, unit, gate tolerances, description) and exit without measuring")
 	fs.StringVar(&o.out, "out", "",
 		"write the JSON report to this path (default BENCH_<seq>.json in the current directory)")
 	fs.StringVar(&o.baseline, "baseline", "",
@@ -58,6 +61,11 @@ func runPerf(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "flexray-bench perf: unexpected argument %q\n", fs.Arg(0))
 		fs.Usage()
 		return 2
+	}
+
+	if o.list {
+		fmt.Fprint(stdout, perfreg.Catalogue(perfSuite()))
+		return 0
 	}
 
 	cfg := perfreg.FullConfig()
@@ -101,8 +109,8 @@ func runPerf(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cmp := perfreg.Compare(base, report, perfreg.CompareOptions{TimeTolPct: o.timeTol})
-	fmt.Fprintf(stdout, "baseline %s (seq %d, %s)\n\n%s",
-		o.baseline, base.Seq, base.Env.GoVersion, cmp.Table())
+	fmt.Fprintf(stdout, "baseline %s (seq %d, %s)\n\n%s\n%s",
+		o.baseline, base.Seq, base.Env.GoVersion, cmp.Table(), perfreg.Benchstat(base, report))
 	if !cmp.OK() {
 		fmt.Fprintf(stderr, "perf: %d metric(s) regressed against %s\n",
 			len(cmp.Regressions())+len(cmp.Missing), o.baseline)

@@ -68,15 +68,18 @@ type Result struct {
 }
 
 // Analyzer performs holistic analyses of one system. An analyzer is a
-// reusable evaluation session: the system-dependent state (FPS priority
-// lists, DYN message sets, topological orders, higher-priority lists)
-// is computed once and survives any number of Reset calls, while the
-// configuration- and table-dependent caches (DYN interference
-// environments, availability functions) are invalidated only when the
-// part of the input they depend on actually changes. Scratch buffers
-// (interference budgets, pick lists) are pooled across runs, so a
-// long-lived analyzer evaluates candidate configurations with almost no
-// allocation beyond the Result it returns.
+// reusable evaluation session with a flat, index-addressed layout:
+// every per-activity fact the Eq. (2)-(3) fixpoint touches (periods,
+// deadlines, divergence caps, response times, jitters) lives in a dense
+// array indexed by model.ActID, and the DYN interference environments
+// live in arena slabs (dynArena) addressed by offsets rather than
+// per-message heap objects. The system-dependent state is computed once
+// and survives any number of Reset calls, while the configuration-
+// dependent slabs are invalidated only when the part of the input they
+// depend on actually changes, so a long-lived analyzer evaluates
+// candidate configurations with almost no allocation beyond the Result
+// it returns — and the fixpoint walks contiguous memory instead of
+// chasing pointers through maps.
 //
 // An Analyzer is not safe for concurrent use; give each goroutine its
 // own.
@@ -86,28 +89,59 @@ type Analyzer struct {
 	table *schedule.Table
 	opts  Options
 
-	// hpTask[node] lists FPS tasks per node sorted by descending
-	// priority.
-	fpsByNode map[model.NodeID][]model.ActID
-	dynMsgs   []model.ActID
+	// --- system-derived dense state (built once in NewReusable) ---
 
-	// envCache holds the interference environments of DYN messages; it
-	// depends on the FrameID assignment and the minislot length of the
-	// bound configuration (the per-cycle need is refreshed on every
-	// query, so NumMinislots changes never invalidate it). hpCache
-	// depends only on the application and is never invalidated.
-	envCache map[model.ActID]*dynEnv
-	hpCache  map[model.ActID][]model.ActID
-	// envPool recycles environments retired by envCache invalidation,
-	// so a FrameID move (the SA neighbourhood) rebuilds them into
-	// existing backing arrays.
-	envPool []*dynEnv
+	// fpsOrder concatenates the FPS tasks of every node, each node's
+	// run sorted by descending priority (ties broken by id, so the
+	// analysis and the simulator agree on a total order). hpStart and
+	// hpEnd give, per FPS ActID, the fpsOrder subrange holding its
+	// strictly higher-priority same-node tasks — the prefix of the
+	// node's run up to the task itself. Non-FPS ids map to the empty
+	// range.
+	fpsOrder []model.ActID
+	hpStart  []int32
+	hpEnd    []int32
+
+	dynMsgs []model.ActID
+	// dynIdx maps an ActID to its dense index in dynMsgs (-1 for
+	// everything that is not a DYN message).
+	dynIdx []int32
+
+	// Per-ActID facts the inner loops would otherwise re-derive
+	// through pointer chains (app.Graphs[app.Act(id).Graph]...).
+	period   []units.Duration
+	deadline []units.Duration
+	capD     []units.Duration
+
+	// --- fixpoint scratch, by ActID, cleared per Run ---
+
+	// r/j hold the current response-time and jitter iterates; has[id]
+	// records whether an entry was ever written (mirroring presence in
+	// the Result maps the fixpoint used to read).
+	r   []units.Duration
+	j   []units.Duration
+	has []bool
+
+	// --- config-derived flat DYN state ---
+
+	// ar holds the interference environments of DYN messages as arena
+	// slabs; it depends on the FrameID assignment and the minislot
+	// length of the bound configuration (the per-cycle need is
+	// refreshed on every query, so NumMinislots changes never
+	// invalidate it).
+	ar dynArena
+	// fids, sizeMS (by dense DYN index) and largestMS (by NodeID) are
+	// rebound together with the arena: the bound FrameID (-1 when
+	// unassigned), the frame size in minislots, and the largest bound
+	// frame size per sender node (the pLatestTx input).
+	fids      []int
+	sizeMS    []int
+	largestMS []int
 	// envSig is the signature (minislot length, FrameID assignment)
-	// the cached environments were built under; envSigScratch is the
-	// pooled buffer the candidate signature is computed into. Working
-	// from a value snapshot — not pointer identity — keeps the cache
-	// sound even when a caller mutates a Config in place between
-	// Resets.
+	// the arena was built under; envSigScratch is the pooled buffer
+	// the candidate signature is computed into. Working from a value
+	// snapshot — not pointer identity — keeps the cache sound even
+	// when a caller mutates a Config in place between Resets.
 	envSig        []int64
 	envSigScratch []int64
 
@@ -133,23 +167,40 @@ func New(sys *model.System, cfg *flexray.Config, table *schedule.Table, opts Opt
 // first Run. Reusing one analyzer across many candidate configurations
 // amortises both this setup and the scratch buffers of the analysis.
 func NewReusable(sys *model.System, opts Options) *Analyzer {
-	a := &Analyzer{
-		sys: sys, opts: opts,
-		fpsByNode: map[model.NodeID][]model.ActID{},
-		envCache:  map[model.ActID]*dynEnv{},
-		hpCache:   map[model.ActID][]model.ActID{},
+	app := &sys.App
+	n := len(app.Acts)
+	a := &Analyzer{sys: sys, opts: opts}
+
+	a.period = make([]units.Duration, n)
+	a.deadline = make([]units.Duration, n)
+	a.capD = make([]units.Duration, n)
+	f := opts.DivergenceFactor
+	if f <= 0 {
+		f = 8
 	}
-	for _, id := range sys.App.Tasks(int(model.FPS)) {
-		n := sys.App.Act(id).Node
-		a.fpsByNode[n] = append(a.fpsByNode[n], id)
+	for id := 0; id < n; id++ {
+		a.period[id] = app.Period(model.ActID(id))
+		a.deadline[id] = app.Deadline(model.ActID(id))
+		a.capD[id] = units.Duration(int64(units.Max(a.deadline[id], a.period[id])) * int64(f))
 	}
-	for n := range a.fpsByNode {
-		ids := a.fpsByNode[n]
-		// Descending priority; ties broken by id so the analysis
-		// and the simulator agree on a total order.
+
+	// FPS priority runs: group per node, sort each run by descending
+	// priority (ties by id), concatenate, and record per task the
+	// subrange of strictly higher-priority predecessors in its run.
+	a.hpStart = make([]int32, n)
+	a.hpEnd = make([]int32, n)
+	byNode := make([][]model.ActID, sys.Platform.NumNodes)
+	for _, id := range app.Tasks(int(model.FPS)) {
+		nd := app.Act(id).Node
+		if int(nd) >= len(byNode) {
+			byNode = append(byNode, make([][]model.ActID, int(nd)+1-len(byNode))...)
+		}
+		byNode[nd] = append(byNode[nd], id)
+	}
+	for _, ids := range byNode {
 		for i := 1; i < len(ids); i++ {
 			for j := i; j > 0; j-- {
-				pi, pj := sys.App.Act(ids[j]).Priority, sys.App.Act(ids[j-1]).Priority
+				pi, pj := app.Act(ids[j]).Priority, app.Act(ids[j-1]).Priority
 				if pi > pj || (pi == pj && ids[j] < ids[j-1]) {
 					ids[j], ids[j-1] = ids[j-1], ids[j]
 				} else {
@@ -157,20 +208,42 @@ func NewReusable(sys *model.System, opts Options) *Analyzer {
 				}
 			}
 		}
+		start := int32(len(a.fpsOrder))
+		for k, id := range ids {
+			a.hpStart[id] = start
+			a.hpEnd[id] = start + int32(k)
+		}
+		a.fpsOrder = append(a.fpsOrder, ids...)
 	}
-	a.dynMsgs = sys.App.Messages(int(model.DYN))
+
+	a.r = make([]units.Duration, n)
+	a.j = make([]units.Duration, n)
+	a.has = make([]bool, n)
+
+	a.dynMsgs = app.Messages(int(model.DYN))
+	a.dynIdx = make([]int32, n)
+	for i := range a.dynIdx {
+		a.dynIdx[i] = -1
+	}
+	for di, m := range a.dynMsgs {
+		a.dynIdx[m] = int32(di)
+	}
+	a.fids = make([]int, len(a.dynMsgs))
+	a.sizeMS = make([]int, len(a.dynMsgs))
+	a.largestMS = make([]int, len(byNode))
+	a.ar.envs = make([]flatEnv, len(a.dynMsgs))
 	return a
 }
 
 // Reset rebinds the analyzer to a new configuration and schedule table,
 // keeping every cache that provably stays valid:
 //
-//   - system-derived state (priority lists, topological orders,
-//     higher-priority sets) always survives;
-//   - DYN interference environments survive when the FrameID assignment
+//   - system-derived state (priority runs, topological orders, dense
+//     per-activity facts) always survives;
+//   - the DYN interference arena survives when the FrameID assignment
 //     and the minislot length are unchanged — so candidates differing
 //     only in NumMinislots (the sweep grids) or in the static segment
-//     reuse them untouched;
+//     reuse it untouched;
 //   - availability functions live on the table itself (schedule.Table
 //     memoises them per node and invalidates on mutation), so they
 //     follow the table through any rebinding.
@@ -181,16 +254,43 @@ func NewReusable(sys *model.System, opts Options) *Analyzer {
 func (a *Analyzer) Reset(cfg *flexray.Config, table *schedule.Table) {
 	sig := a.envSignature(cfg, a.envSigScratch[:0])
 	if !slices.Equal(sig, a.envSig) {
-		for _, env := range a.envCache {
-			a.envPool = append(a.envPool, env)
-		}
-		clear(a.envCache)
+		a.rebindEnvs(cfg, sig)
 	}
 	// Swap the buffers: sig becomes the bound signature, the old one
 	// the next scratch.
 	a.envSig, a.envSigScratch = sig, a.envSig
 	a.cfg = cfg
 	a.table = table
+}
+
+// rebindEnvs invalidates the interference arena and re-derives the
+// signature-dependent dense facts (FrameIDs, frame sizes, per-node
+// largest frames). The slabs keep their backing arrays, so a FrameID
+// move (the SA neighbourhood) rebuilds environments without allocating.
+func (a *Analyzer) rebindEnvs(cfg *flexray.Config, sig []int64) {
+	a.ar.invalidate()
+	for i := range a.dynMsgs {
+		a.fids[i] = int(sig[2+i])
+	}
+	for i := range a.largestMS {
+		a.largestMS[i] = 0
+	}
+	if cfg.MinislotLen <= 0 {
+		for i := range a.sizeMS {
+			a.sizeMS[i] = 0
+		}
+		return
+	}
+	app := &a.sys.App
+	for i, m := range a.dynMsgs {
+		a.sizeMS[i] = cfg.SizeInMinislots(app.Act(m).C)
+	}
+	for m := range cfg.FrameID {
+		act := app.Act(m)
+		if s := cfg.SizeInMinislots(act.C); int(act.Node) < len(a.largestMS) && s > a.largestMS[act.Node] {
+			a.largestMS[act.Node] = s
+		}
+	}
 }
 
 // envSignature appends the inputs the cached DYN interference
@@ -209,6 +309,17 @@ func (a *Analyzer) envSignature(cfg *flexray.Config, buf []int64) []int64 {
 		buf = append(buf, int64(fid))
 	}
 	return buf
+}
+
+// EnvSignature appends the signature of the configuration-dependent DYN
+// interference state — the minislot length and the FrameID assignment —
+// to buf and returns it. Configurations with equal signatures share the
+// analyzer's interference arena across Resets without a rebuild; batch
+// planners (core.Session.EvalBatch) group candidates by it so a batch
+// that interleaves minislot-length and FrameID moves pays each arena
+// rebuild once instead of once per alternation.
+func (a *Analyzer) EnvSignature(cfg *flexray.Config, buf []int64) []int64 {
+	return a.envSignature(cfg, buf)
 }
 
 // topoOrder returns the cached topological order of graph g.
@@ -231,47 +342,30 @@ func (a *Analyzer) availability(n model.NodeID) *schedule.Availability {
 }
 
 // HigherPriorityFPS returns the FPS tasks on the same node with higher
-// priority than t (ties broken by id).
+// priority than t (ties broken by id). For anything that is not an FPS
+// task the list is empty.
 func (a *Analyzer) HigherPriorityFPS(t model.ActID) []model.ActID {
-	if hp, ok := a.hpCache[t]; ok {
-		return hp
-	}
-	act := a.sys.App.Act(t)
-	var out []model.ActID
-	for _, id := range a.fpsByNode[act.Node] {
-		if id == t {
-			break
-		}
-		out = append(out, id)
-	}
-	a.hpCache[t] = out
-	return out
+	return a.fpsOrder[a.hpStart[t]:a.hpEnd[t]]
 }
 
 // cap returns the divergence bound for an activity.
 func (a *Analyzer) cap(id model.ActID) units.Duration {
-	d := a.sys.App.Deadline(id)
-	t := a.sys.App.Period(id)
-	m := units.Max(d, t)
-	f := a.opts.DivergenceFactor
-	if f <= 0 {
-		f = 8
-	}
-	return units.Duration(int64(m) * int64(f))
+	return a.capD[id]
 }
 
 // Run performs the holistic analysis: response times of TT activities
 // come from the schedule table; ET activities are analysed iteratively
 // with jitter propagation along the precedence edges until a fixpoint
 // (Section 5: "the interference from the SCS activities" is part of
-// both the FPS and the DYN analysis).
+// both the FPS and the DYN analysis). The iteration state lives in the
+// analyzer's dense r/j arrays; the Result maps are materialised once at
+// the end.
 func (a *Analyzer) Run() *Result {
 	app := &a.sys.App
-	res := &Result{
-		R:         make(map[model.ActID]units.Duration, len(app.Acts)),
-		J:         make(map[model.ActID]units.Duration, len(app.Acts)),
-		Converged: true,
-	}
+	res := &Result{Converged: true}
+	clear(a.r)
+	clear(a.j)
+	clear(a.has)
 
 	// Static part: schedule-table derived responses.
 	for i := range app.Acts {
@@ -279,7 +373,8 @@ func (a *Analyzer) Run() *Result {
 		if !act.IsTT() {
 			continue
 		}
-		res.R[act.ID] = a.tableResponse(act)
+		a.r[act.ID] = a.tableResponse(act)
+		a.has[act.ID] = true
 	}
 
 	// Event-triggered part: fixpoint over jitters.
@@ -294,6 +389,7 @@ func (a *Analyzer) Run() *Result {
 			if err != nil {
 				// Validation rejects cyclic graphs; treat as
 				// unschedulable rather than panicking.
+				a.emit(res)
 				res.Schedulable = false
 				res.Cost = 1e18
 				return res
@@ -303,16 +399,17 @@ func (a *Analyzer) Run() *Result {
 				if act.IsTT() {
 					continue
 				}
-				j := a.releaseJitter(act, res)
+				j := a.releaseJitter(act)
 				var r units.Duration
 				if act.IsTask() {
-					r = a.fpsResponse(act, j, res)
+					r = a.fpsResponse(act, j)
 				} else {
-					r = a.dynResponse(act, j, res)
+					r = a.dynResponse(act, j)
 				}
-				if res.J[id] != j || res.R[id] != r {
-					res.J[id] = j
-					res.R[id] = r
+				if a.j[id] != j || a.r[id] != r {
+					a.j[id] = j
+					a.r[id] = r
+					a.has[id] = true
 					changed = true
 				}
 			}
@@ -334,11 +431,11 @@ func (a *Analyzer) Run() *Result {
 // worst-case completion of its predecessors (their response time),
 // measured from the graph release, plus its own static release offset.
 // This is the Jm of Eq. (2) "inherited from the sender task".
-func (a *Analyzer) releaseJitter(act *model.Activity, res *Result) units.Duration {
+func (a *Analyzer) releaseJitter(act *model.Activity) units.Duration {
 	j := act.Release
 	for _, p := range act.Preds {
-		if r, ok := res.R[p]; ok && r > j {
-			j = r
+		if a.has[p] && a.r[p] > j {
+			j = a.r[p]
 		}
 	}
 	return j
@@ -347,7 +444,7 @@ func (a *Analyzer) releaseJitter(act *model.Activity, res *Result) units.Duratio
 // tableResponse derives the worst response time of an SCS task or ST
 // message over all its instances in the table.
 func (a *Analyzer) tableResponse(act *model.Activity) units.Duration {
-	period := a.sys.App.Period(act.ID)
+	period := a.period[act.ID]
 	var worst units.Duration
 	if act.IsTask() {
 		for _, i := range a.table.TaskEntryIndices(act.ID) {
@@ -375,17 +472,37 @@ func (a *Analyzer) tableResponse(act *model.Activity) units.Duration {
 	return worst
 }
 
+// emit materialises the dense iteration state into the Result maps.
+// Only activities that were actually written appear, mirroring the
+// incremental map inserts the fixpoint used to perform.
+func (a *Analyzer) emit(res *Result) {
+	app := &a.sys.App
+	res.R = make(map[model.ActID]units.Duration, len(app.Acts))
+	res.J = make(map[model.ActID]units.Duration, len(app.Acts))
+	for i := range app.Acts {
+		act := &app.Acts[i]
+		if !a.has[act.ID] {
+			continue
+		}
+		res.R[act.ID] = a.r[act.ID]
+		if !act.IsTT() {
+			res.J[act.ID] = a.j[act.ID]
+		}
+	}
+}
+
 // finish computes deadlines, violations and the cost function (Eq. 5).
 func (a *Analyzer) finish(res *Result) {
 	app := &a.sys.App
+	a.emit(res)
 	var f1, f2 float64
 	for i := range app.Acts {
 		act := &app.Acts[i]
-		r, ok := res.R[act.ID]
-		if !ok {
+		if !a.has[act.ID] {
 			continue
 		}
-		d := app.Deadline(act.ID)
+		r := a.r[act.ID]
+		d := a.deadline[act.ID]
 		diff := float64(r-d) / float64(units.Microsecond)
 		if r > d {
 			f1 += diff

@@ -65,15 +65,43 @@ func newAnalyzer(t testing.TB, sys *model.System, cfg *flexray.Config) *Analyzer
 	return New(sys, cfg, table, DefaultOptions())
 }
 
+// fillNeedOf resolves the dense-index arguments fillNeed takes on the
+// flat layout.
+func fillNeedOf(a *Analyzer, act *model.Activity) int {
+	di := a.dynIdx[act.ID]
+	return a.fillNeed(act, a.fids[di], int(di))
+}
+
+// envOf builds (or fetches) the flat interference environment of act
+// under FrameID fid.
+func envOf(a *Analyzer, act *model.Activity, fid int) *flatEnv {
+	return a.buildEnv(int(a.dynIdx[act.ID]), act, fid)
+}
+
+// hpOf and groupsOf materialise the slab-backed hp(m) and lf(m) sets of
+// an environment for assertions.
+func hpOf(a *Analyzer, env *flatEnv) []model.ActID {
+	return a.ar.hp[env.hpLo:env.hpHi]
+}
+
+func groupsOf(a *Analyzer, env *flatEnv) [][]lfItem {
+	var out [][]lfItem
+	for g := 0; g < a.ar.groups(env); g++ {
+		s, e := a.ar.groupBounds(env, g)
+		out = append(out, a.ar.lf[s:e])
+	}
+	return out
+}
+
 func TestFillNeedPerFrame(t *testing.T) {
 	sys, cfg := fig4System(t)
 	a := newAnalyzer(t, sys, cfg)
 	// m2: fid 2, size 6, n=12: blocked iff E >= 12-6-2+2 = 6.
-	if got := a.fillNeed(sys.App.Act(actID(t, sys, "m2"))); got != 6 {
+	if got := fillNeedOf(a, sys.App.Act(actID(t, sys, "m2"))); got != 6 {
 		t.Errorf("fillNeed(m2) = %d, want 6", got)
 	}
 	// m1: fid 1, size 7: need = 12-7-1+2 = 6.
-	if got := a.fillNeed(sys.App.Act(actID(t, sys, "m1"))); got != 6 {
+	if got := fillNeedOf(a, sys.App.Act(actID(t, sys, "m1"))); got != 6 {
 		t.Errorf("fillNeed(m1) = %d, want 6", got)
 	}
 }
@@ -84,7 +112,7 @@ func TestFillNeedPerNode(t *testing.T) {
 	a := newAnalyzer(t, sys, cfg)
 	// Node 0's largest frame is m1 (7): pLatestTx = 12-7+1 = 6. For
 	// m3 (fid 3): need = 6-3+1 = 4.
-	if got := a.fillNeed(sys.App.Act(actID(t, sys, "m3"))); got != 4 {
+	if got := fillNeedOf(a, sys.App.Act(actID(t, sys, "m3"))); got != 4 {
 		t.Errorf("fillNeed(m3, per-node) = %d, want 4", got)
 	}
 }
@@ -93,16 +121,17 @@ func TestDynEnvSets(t *testing.T) {
 	sys, cfg := fig4System(t)
 	a := newAnalyzer(t, sys, cfg)
 	m2 := sys.App.Act(actID(t, sys, "m2"))
-	env := a.dynEnv(m2, 2)
-	if len(env.hp) != 0 {
-		t.Errorf("hp(m2) = %v, want empty (unique FrameIDs)", env.hp)
+	env := envOf(a, m2, 2)
+	if hp := hpOf(a, env); len(hp) != 0 {
+		t.Errorf("hp(m2) = %v, want empty (unique FrameIDs)", hp)
 	}
 	// lf(m2) = {m1} (fid 1 < 2), grouped by FrameID; m1 contributes
 	// 6 extra minislots.
-	if len(env.lfGroups) != 1 || len(env.lfGroups[0]) != 1 {
-		t.Fatalf("lfGroups(m2) = %+v, want one group of one", env.lfGroups)
+	groups := groupsOf(a, env)
+	if len(groups) != 1 || len(groups[0]) != 1 {
+		t.Fatalf("lfGroups(m2) = %+v, want one group of one", groups)
 	}
-	if got := env.lfGroups[0][0].extra; got != 6 {
+	if got := groups[0][0].extra; got != 6 {
 		t.Errorf("extra(m1) = %d, want 6 (size 7 - 1)", got)
 	}
 }
@@ -114,12 +143,12 @@ func TestDynEnvSharedFrameID(t *testing.T) {
 	cfg.FrameID[actID(t, sys, "m3")] = 1
 	a := newAnalyzer(t, sys, cfg)
 	m3 := sys.App.Act(actID(t, sys, "m3"))
-	env := a.dynEnv(m3, 1)
-	if len(env.hp) != 1 || env.hp[0] != actID(t, sys, "m1") {
-		t.Errorf("hp(m3) = %v, want [m1]", env.hp)
+	env := envOf(a, m3, 1)
+	if hp := hpOf(a, env); len(hp) != 1 || hp[0] != actID(t, sys, "m1") {
+		t.Errorf("hp(m3) = %v, want [m1]", hp)
 	}
-	if len(env.lfGroups) != 0 {
-		t.Errorf("lf(m3) = %+v, want empty (fid 1 has no lower slots)", env.lfGroups)
+	if groups := groupsOf(a, env); len(groups) != 0 {
+		t.Errorf("lf(m3) = %+v, want empty (fid 1 has no lower slots)", groups)
 	}
 }
 
@@ -185,21 +214,38 @@ func TestCostFunctionSigns(t *testing.T) {
 func TestInstancesJitterTerm(t *testing.T) {
 	sys, cfg := fig4System(t)
 	a := newAnalyzer(t, sys, cfg)
-	res := &Result{J: map[model.ActID]units.Duration{}}
 	m1 := actID(t, sys, "m1")
 	// Window of one period, no jitter: exactly one activation.
-	if got := a.instances(m1, 200*us, res); got != 1 {
+	if got := a.instances(m1, 200*us); got != 1 {
 		t.Errorf("instances(T, J=0) = %d, want 1", got)
 	}
 	// Window epsilon short of two periods.
-	if got := a.instances(m1, 399*us, res); got != 2 {
+	if got := a.instances(m1, 399*us); got != 2 {
 		t.Errorf("instances(2T-eps) = %d, want 2", got)
 	}
 	// Jitter adds activations.
-	res.J[m1] = 200 * us
-	if got := a.instances(m1, 200*us, res); got != 2 {
+	a.j[m1] = 200 * us
+	if got := a.instances(m1, 200*us); got != 2 {
 		t.Errorf("instances(T, J=T) = %d, want 2", got)
 	}
+}
+
+// testArena builds a standalone arena holding one environment from
+// explicit per-group items and budgets, for exercising the fill
+// solvers in isolation.
+func testArena(need int, groups [][]lfItem, budgets [][]int64) (*dynArena, *flatEnv) {
+	ar := &dynArena{envs: make([]flatEnv, 1)}
+	e := &ar.envs[0]
+	e.need = need
+	e.built = true
+	for gi, g := range groups {
+		ar.lf = append(ar.lf, g...)
+		ar.grp = append(ar.grp, int32(len(ar.lf)))
+		ar.budget = append(ar.budget, budgets[gi]...)
+	}
+	e.lfHi = int32(len(ar.lf))
+	e.grpHi = int32(len(ar.grp))
+	return ar, e
 }
 
 // TestGreedyFillNeverExceedsExact: the greedy heuristic produces a
@@ -209,7 +255,8 @@ func TestGreedyFillNeverExceedsExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 200; trial++ {
 		nGroups := 1 + rng.Intn(4)
-		env := &dynEnv{need: 1 + rng.Intn(8)}
+		need := 1 + rng.Intn(8)
+		groups := make([][]lfItem, nGroups)
 		budgets := make([][]int64, nGroups)
 		for g := 0; g < nGroups; g++ {
 			nItems := 1 + rng.Intn(3)
@@ -218,30 +265,29 @@ func TestGreedyFillNeverExceedsExact(t *testing.T) {
 				items = append(items, lfItem{id: model.ActID(g*10 + i), extra: 1 + rng.Intn(6)})
 			}
 			// Groups are kept sorted by extra descending, as
-			// dynEnv builds them.
+			// buildEnv produces them.
 			for i := 1; i < len(items); i++ {
 				for j := i; j > 0 && items[j].extra > items[j-1].extra; j-- {
 					items[j], items[j-1] = items[j-1], items[j]
 				}
 			}
-			env.lfGroups = append(env.lfGroups, items)
+			groups[g] = items
 			budgets[g] = make([]int64, nItems)
 			for i := range budgets[g] {
 				budgets[g][i] = int64(rng.Intn(4))
 			}
 		}
-		exact, complete := exactFill(env, budgets, 500000)
+		ar, env := testArena(need, groups, budgets)
+		exact, complete := ar.exactFill(env, 500000)
 		if !complete {
 			continue
 		}
-		bcopy := make([][]int64, len(budgets))
-		for i := range budgets {
-			bcopy[i] = append([]int64(nil), budgets[i]...)
-		}
-		greedy := greedyFill(env, bcopy)
+		// greedyFill consumes the budget row in place; exactFill
+		// worked on its own copy, so the row is still pristine.
+		greedy := ar.greedyFill(env)
 		if greedy > exact {
 			t.Fatalf("trial %d: greedy fill %d exceeds exact maximum %d (need %d, groups %+v, budgets %+v)",
-				trial, greedy, exact, env.need, env.lfGroups, budgets)
+				trial, greedy, exact, need, groups, budgets)
 		}
 	}
 }
@@ -250,22 +296,19 @@ func TestExactFillHandComputed(t *testing.T) {
 	// Two groups: group A has one item of extra 3 (budget 2), group
 	// B one item of extra 2 (budget 1). Need 5: only one cycle can
 	// be filled (A+B); a second cycle has only A (3 < 5).
-	env := &dynEnv{
-		need: 5,
-		lfGroups: [][]lfItem{
-			{{id: 1, extra: 3}},
-			{{id: 2, extra: 2}},
-		},
+	groups := [][]lfItem{
+		{{id: 1, extra: 3}},
+		{{id: 2, extra: 2}},
 	}
-	budgets := [][]int64{{2}, {1}}
-	got, ok := exactFill(env, budgets, 100000)
+	ar, env := testArena(5, groups, [][]int64{{2}, {1}})
+	got, ok := ar.exactFill(env, 100000)
 	if !ok || got != 1 {
 		t.Errorf("exactFill = %d (ok=%v), want 1", got, ok)
 	}
 	// With need 3, group A alone fills a cycle: 2 cycles from A's
 	// budget plus... B alone is 2 < 3, so exactly 2.
-	env.need = 3
-	got, ok = exactFill(env, [][]int64{{2}, {1}}, 100000)
+	ar, env = testArena(3, groups, [][]int64{{2}, {1}})
+	got, ok = ar.exactFill(env, 100000)
 	if !ok || got != 2 {
 		t.Errorf("exactFill(need 3) = %d (ok=%v), want 2", got, ok)
 	}
@@ -274,21 +317,19 @@ func TestExactFillHandComputed(t *testing.T) {
 }
 
 func TestLeftoverExtrasStaysBelowNeed(t *testing.T) {
-	env := &dynEnv{
-		need: 4,
-		lfGroups: [][]lfItem{
-			{{id: 1, extra: 3}},
-			{{id: 2, extra: 2}},
-		},
+	groups := [][]lfItem{
+		{{id: 1, extra: 3}},
+		{{id: 2, extra: 2}},
 	}
-	budgets := [][]int64{{1}, {1}}
+	ar, env := testArena(4, groups, [][]int64{{1}, {1}})
 	// Max extras strictly below 4: 3 (taking both would reach 5,
 	// capped; greedy takes 3 then cannot add 2 without exceeding 3).
-	if got := leftoverExtras(env, budgets); got != 3 {
+	if got := ar.leftoverExtras(env); got != 3 {
 		t.Errorf("leftoverExtras = %d, want 3", got)
 	}
 	// Nothing available.
-	if got := leftoverExtras(env, [][]int64{{0}, {0}}); got != 0 {
+	ar, env = testArena(4, groups, [][]int64{{0}, {0}})
+	if got := ar.leftoverExtras(env); got != 0 {
 		t.Errorf("leftoverExtras(empty) = %d, want 0", got)
 	}
 }

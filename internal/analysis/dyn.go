@@ -20,45 +20,46 @@ import (
 // occupying the slot, or lower-FrameID interference pushing the
 // minislot counter past the latest transmission start); w'm is the
 // delay inside the final cycle until transmission starts.
-func (a *Analyzer) dynResponse(act *model.Activity, jitter units.Duration, res *Result) units.Duration {
-	fid, ok := a.cfg.FrameID[act.ID]
-	if !ok || a.cfg.NumMinislots <= 0 {
+func (a *Analyzer) dynResponse(act *model.Activity, jitter units.Duration) units.Duration {
+	di := a.dynIdx[act.ID]
+	fid := a.fids[di]
+	if fid < 0 || a.cfg.NumMinislots <= 0 {
 		// No FrameID or no dynamic segment: the message can never
 		// be transmitted under this configuration.
-		return a.cap(act.ID)
+		return a.capD[act.ID]
 	}
-	need := a.fillNeed(act)
+	need := a.fillNeed(act, fid, int(di))
 	if need <= 0 {
 		// Even an empty dynamic segment blocks the frame (it can
 		// never fit): permanently filled.
-		return a.cap(act.ID)
+		return a.capD[act.ID]
 	}
 
-	env, ok := a.envCache[act.ID]
-	if !ok {
-		env = a.dynEnv(act, fid)
-		a.envCache[act.ID] = env
+	env := &a.ar.envs[di]
+	if !env.built {
+		a.buildEnv(int(di), act, fid)
 	}
 	// The need depends on NumMinislots (and, per-node, on pLatestTx),
 	// which change between Reset-bound configurations while the cached
 	// environment stays valid; refresh it on every query.
 	env.need = need
-	bound := a.cap(act.ID)
+	bound := a.capD[act.ID]
 	cycle := a.cfg.Cycle()
 	msLen := a.cfg.MinislotLen
+	stBus := a.cfg.STBus()
 
 	// σm: the message misses its earliest possible slot start in the
 	// arrival cycle and waits for the cycle to end. The earliest slot
 	// start is STbus + (fid-1) empty minislots into the cycle.
-	sigma := cycle - a.cfg.STBus() - units.Duration(fid-1)*msLen
+	sigma := cycle - stBus - units.Duration(fid-1)*msLen
 
 	// Fixpoint of Eq. (3): t is the window over which interfering
 	// instances are counted.
 	t := units.Duration(0)
 	var w units.Duration
 	for iter := 0; iter < 10000; iter++ {
-		filled, leftover := a.fillCycles(env, t, res)
-		wPrime := a.cfg.STBus() + units.Duration(fid-1+leftover)*msLen
+		filled, leftover := a.fillCycles(env, t)
+		wPrime := stBus + units.Duration(fid-1+leftover)*msLen
 		w = units.SatAdd(sigma, units.SatAdd(units.Duration(filled)*cycle, wPrime))
 		if w > bound {
 			return bound
@@ -75,51 +76,96 @@ func (a *Analyzer) dynResponse(act *model.Activity, jitter units.Duration, res *
 // minislot every lower slot consumes when empty) that lower-FrameID
 // interference must contribute in a cycle to push the message past its
 // latest transmission start. A cycle is "filled" by interference iff
-// the extras reach this value (condition 1 of Section 5.1).
-func (a *Analyzer) fillNeed(act *model.Activity) int {
-	fid := a.cfg.FrameID[act.ID]
+// the extras reach this value (condition 1 of Section 5.1). fid is the
+// bound FrameID of the message and di its dense DYN index.
+func (a *Analyzer) fillNeed(act *model.Activity, fid, di int) int {
 	switch a.cfg.Policy {
 	case flexray.LatestTxPerNode:
 		// Blocked iff counter fid+E > pLatestTx.
-		return a.cfg.PLatestTx(&a.sys.App, act.Node) - fid + 1
+		p := a.cfg.NumMinislots
+		if largest := a.largestMS[act.Node]; largest > 0 {
+			p = a.cfg.NumMinislots - largest + 1
+		}
+		return p - fid + 1
 	default:
 		// Blocked iff fid+E+s-1 > NumMinislots.
-		s := a.cfg.SizeInMinislots(act.C)
-		return a.cfg.NumMinislots - s - fid + 2
+		return a.cfg.NumMinislots - a.sizeMS[di] - fid + 2
 	}
 }
 
-// dynEnv gathers the interference environment of one message: the
+// flatEnv is the interference environment of one DYN message — the
 // higher-priority local messages sharing its FrameID (hp(m)) and the
-// lower-FrameID messages (lf(m)) grouped per FrameID. Unused lower
-// slots (ms(m)) are implicit: every FrameID below fid costs one
-// minislot per cycle whether used or not, which is why only the
-// *extra* minislots of actual transmissions matter for filling.
-type dynEnv struct {
-	need int
-	hp   []model.ActID
-	// lfFlat holds every lf item sorted by (FrameID asc, extra desc,
-	// id asc); lfGroups are contiguous subslices of it, one per
-	// FrameID. The flat layout lets a recycled environment rebuild
-	// its groups without allocating.
-	lfFlat   []lfItem
-	lfGroups [][]lfItem
+// lower-FrameID messages (lf(m)) grouped per FrameID — stored as
+// offsets into the dynArena slabs instead of per-env heap slices.
+// Unused lower slots (ms(m)) are implicit: every FrameID below fid
+// costs one minislot per cycle whether used or not, which is why only
+// the *extra* minislots of actual transmissions matter for filling.
+type flatEnv struct {
+	built bool
+	need  int
+	// hp(m) is ar.hp[hpLo:hpHi].
+	hpLo, hpHi int32
+	// The lf items are ar.lf[lfLo:lfHi], sorted by (FrameID asc,
+	// extra desc, id asc); ar.budget is indexed identically. The
+	// per-FrameID groups are contiguous runs: group g of this env
+	// ends at ar.grp[grpLo+g] (and starts where the previous one
+	// ended, or at lfLo).
+	lfLo, lfHi   int32
+	grpLo, grpHi int32
+}
+
+// dynArena holds every DYN interference environment of an analyzer in
+// index-addressed slabs: appending to a slab can grow its backing
+// array, but existing environments stay valid because they hold
+// offsets, not pointers. Invalidation resets the slab lengths and
+// keeps the capacity, so a FrameID move rebuilds into existing memory.
+type dynArena struct {
+	envs []flatEnv
+	// hp holds the hp(m) activity ids of every env.
+	hp []model.ActID
+	// lf holds the lf(m) items of every env; budget is the
+	// instance-count row refilled by every fillCycles call, indexed
+	// like lf; grp holds the per-env group end offsets into lf.
+	lf     []lfItem
+	budget []int64
+	grp    []int32
 	// cands and picks are scratch buffers reused by pickCycle (one
-	// slot per group); budgets is the instance-count matrix refilled
-	// by every fillCycles call, its rows carved out of budgetBuf and
-	// shaped like lfGroups. All of these exist so the Eq. (3)
-	// fixpoint iterates without allocating.
-	cands     []pick
-	picks     []pick
-	budgets   [][]int64
-	budgetBuf []int64
+	// slot per group); exactBud is the budget copy of exactFill. All
+	// of these exist so the Eq. (3) fixpoint iterates without
+	// allocating.
+	cands    []pick
+	picks    []pick
+	exactBud []int64
 	// sorter wraps cands for sort.Sort: a pooled sort.Interface
 	// avoids the per-call closure and reflect.Swapper allocations of
 	// sort.Slice while producing the identical permutation (both run
 	// the same pdqsort).
 	sorter pickSorter
-	// lfSorter likewise wraps lfFlat for the construction-time sort.
+	// lfSorter likewise wraps the freshly appended lf run for the
+	// construction-time sort.
 	lfSorter lfItemSorter
+}
+
+// invalidate retires every environment, keeping slab capacity.
+func (ar *dynArena) invalidate() {
+	ar.hp = ar.hp[:0]
+	ar.lf = ar.lf[:0]
+	ar.grp = ar.grp[:0]
+	for i := range ar.envs {
+		ar.envs[i].built = false
+	}
+}
+
+// groups returns the number of FrameID groups of env.
+func (ar *dynArena) groups(e *flatEnv) int { return int(e.grpHi - e.grpLo) }
+
+// groupBounds returns the [start, end) lf-slab range of group g.
+func (ar *dynArena) groupBounds(e *flatEnv, g int) (int, int) {
+	start := int(e.lfLo)
+	if g > 0 {
+		start = int(ar.grp[int(e.grpLo)+g-1])
+	}
+	return start, int(ar.grp[int(e.grpLo)+g])
 }
 
 // pickSorter sorts picks by descending extra, exactly like the
@@ -154,78 +200,70 @@ func (p *lfItemSorter) Less(i, j int) bool {
 }
 func (p *lfItemSorter) Swap(i, j int) { p.s[i], p.s[j] = p.s[j], p.s[i] }
 
-func (a *Analyzer) dynEnv(act *model.Activity, fid int) *dynEnv {
+// buildEnv gathers the interference environment of one message into the
+// arena slabs. An unassigned interferer reads as FrameID 0 (below every
+// real FrameID), matching the map-indexing semantics the grouping has
+// always had.
+func (a *Analyzer) buildEnv(di int, act *model.Activity, fid int) *flatEnv {
+	ar := &a.ar
+	env := &ar.envs[di]
+	env.hpLo = int32(len(ar.hp))
+	env.lfLo = int32(len(ar.lf))
+	env.grpLo = int32(len(ar.grp))
 	app := &a.sys.App
-	env := a.newEnv()
-	flat := env.lfFlat[:0]
-	for _, m := range a.dynMsgs {
+	for mi, m := range a.dynMsgs {
 		if m == act.ID {
 			continue
 		}
-		other := app.Act(m)
-		ofid := a.cfg.FrameID[m]
+		ofid := a.fids[mi]
+		if ofid < 0 {
+			ofid = 0
+		}
 		switch {
 		case ofid == fid:
 			// Same FrameID: same node by construction; the higher
 			// priority message occupies the slot (hp(m)).
+			other := app.Act(m)
 			if other.Priority > act.Priority ||
 				(other.Priority == act.Priority && m < act.ID) {
-				env.hp = append(env.hp, m)
+				ar.hp = append(ar.hp, m)
 			}
 		case ofid < fid:
-			if e := a.cfg.SizeInMinislots(other.C) - 1; e > 0 {
-				flat = append(flat, lfItem{fid: ofid, id: m, extra: e})
+			if e := a.sizeMS[mi] - 1; e > 0 {
+				ar.lf = append(ar.lf, lfItem{fid: ofid, id: m, extra: e})
 			}
 		}
 	}
-	env.lfSorter.s = flat
-	sort.Sort(&env.lfSorter)
-	env.lfFlat = flat
+	env.hpHi = int32(len(ar.hp))
+	env.lfHi = int32(len(ar.lf))
+	ar.lfSorter.s = ar.lf[env.lfLo:env.lfHi]
+	sort.Sort(&ar.lfSorter)
 
-	// Split the flat run into per-FrameID groups and carve the budget
-	// rows out of one backing array, both without allocating when the
-	// environment is recycled.
-	if cap(env.budgetBuf) < len(flat) {
-		env.budgetBuf = make([]int64, len(flat))
-	}
-	buf := env.budgetBuf[:len(flat)]
-	for i := 0; i < len(flat); {
+	// Record the group end offsets of the sorted run and size the
+	// budget row alongside the lf slab.
+	for i := int(env.lfLo); i < int(env.lfHi); {
 		j := i
-		for j < len(flat) && flat[j].fid == flat[i].fid {
+		for j < int(env.lfHi) && ar.lf[j].fid == ar.lf[i].fid {
 			j++
 		}
-		env.lfGroups = append(env.lfGroups, flat[i:j])
-		env.budgets = append(env.budgets, buf[i:j])
+		ar.grp = append(ar.grp, int32(j))
 		i = j
 	}
-	return env
-}
-
-// newEnv returns a recycled interference environment (from envs retired
-// by a Reset that changed the FrameID assignment) or a fresh one. All
-// slice fields of a recycled env are length-reset with their backing
-// arrays kept.
-func (a *Analyzer) newEnv() *dynEnv {
-	n := len(a.envPool)
-	if n == 0 {
-		return &dynEnv{}
+	env.grpHi = int32(len(ar.grp))
+	if cap(ar.budget) < len(ar.lf) {
+		ar.budget = make([]int64, len(ar.lf), cap(ar.lf))
+	} else {
+		ar.budget = ar.budget[:len(ar.lf)]
 	}
-	env := a.envPool[n-1]
-	a.envPool = a.envPool[:n-1]
-	env.hp = env.hp[:0]
-	env.lfFlat = env.lfFlat[:0]
-	env.lfGroups = env.lfGroups[:0]
-	env.budgets = env.budgets[:0]
+	env.built = true
 	return env
 }
 
 // instances returns how many activations of message m can fall inside a
 // window of length t, given its inherited jitter (the standard
 // ceil((t+J)/T) term).
-func (a *Analyzer) instances(m model.ActID, t units.Duration, res *Result) int64 {
-	period := a.sys.App.Period(m)
-	j := res.J[m]
-	n := units.CeilDiv(int64(t)+int64(j), int64(period))
+func (a *Analyzer) instances(m model.ActID, t units.Duration) int64 {
+	n := units.CeilDiv(int64(t)+int64(a.j[m]), int64(a.period[m]))
 	if n < 0 {
 		return 0
 	}
@@ -244,37 +282,35 @@ func (a *Analyzer) instances(m model.ActID, t units.Duration, res *Result) int64
 // solver is the polynomial greedy heuristic; Options.ExactFill enables
 // the branch-and-bound of ref [14] (with fallback when the search
 // explodes).
-func (a *Analyzer) fillCycles(env *dynEnv, t units.Duration, res *Result) (filled int64, leftover int) {
+func (a *Analyzer) fillCycles(env *flatEnv, t units.Duration) (filled int64, leftover int) {
+	ar := &a.ar
 	// hp(m): every instance occupies the slot for one whole cycle.
 	var hpFill int64
-	for _, m := range env.hp {
-		hpFill += a.instances(m, t, res)
+	for _, m := range ar.hp[env.hpLo:env.hpHi] {
+		hpFill += a.instances(m, t)
 	}
 
-	// Budgets for lf items within the window; the matrix is pooled in
-	// the environment and refilled in place (greedyFill and
-	// leftoverExtras consume it destructively, exactly as before).
-	budgets := env.budgets
-	for gi, g := range env.lfGroups {
-		for ii, it := range g {
-			budgets[gi][ii] = a.instances(it.id, t, res)
-		}
+	// Budgets for lf items within the window; the row is part of the
+	// arena and refilled in place (greedyFill and leftoverExtras
+	// consume it destructively, exactly as before).
+	for i := int(env.lfLo); i < int(env.lfHi); i++ {
+		ar.budget[i] = a.instances(ar.lf[i].id, t)
 	}
 
 	var lfFill int64
 	if a.opts.ExactFill {
 		var exact bool
-		lfFill, exact = exactFill(env, budgets, a.opts.FillNodeCap)
+		lfFill, exact = ar.exactFill(env, a.opts.FillNodeCap)
 		if !exact {
-			lfFill = greedyFill(env, budgets)
+			lfFill = ar.greedyFill(env)
 		}
 	} else {
-		lfFill = greedyFill(env, budgets)
+		lfFill = ar.greedyFill(env)
 	}
 
 	// Leftover: maximise extras in the final cycle without reaching
 	// `need` (the message still transmits, as late as possible).
-	leftover = leftoverExtras(env, budgets)
+	leftover = ar.leftoverExtras(env)
 	return hpFill + lfFill, leftover
 }
 
@@ -283,20 +319,22 @@ func (a *Analyzer) fillCycles(env *dynEnv, t units.Duration, res *Result) (fille
 // with remaining budget until the need is met, then greedily swaps the
 // last pick for the smallest item that still meets the need (saving
 // large extras for later cycles). Budgets are consumed in place.
-func greedyFill(env *dynEnv, budgets [][]int64) int64 {
+func (ar *dynArena) greedyFill(env *flatEnv) int64 {
 	var filled int64
 	for {
-		picks, total := pickCycle(env, budgets)
+		picks, total := ar.pickCycle(env)
 		if total < env.need {
 			return filled
 		}
 		for _, p := range picks {
-			budgets[p.gi][p.ii]--
+			ar.budget[p.ii]--
 		}
 		filled++
 	}
 }
 
+// pick references one lf item: gi is its group ordinal within the env,
+// ii its absolute index into the lf/budget slabs.
 type pick struct {
 	gi, ii int
 	extra  int
@@ -305,23 +343,26 @@ type pick struct {
 // pickCycle selects at most one budgeted item per FrameID group,
 // preferring large extras, stopping once the need is reached; it then
 // minimises the final pick. It returns the picks and their total.
-func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
+func (ar *dynArena) pickCycle(env *flatEnv) ([]pick, int) {
 	// Candidate per group: the largest-extra item with budget left
 	// (groups are sorted by extra descending).
-	cands := env.cands[:0]
-	for gi, g := range env.lfGroups {
-		for ii, it := range g {
-			if budgets[gi][ii] > 0 {
-				cands = append(cands, pick{gi, ii, it.extra})
+	cands := ar.cands[:0]
+	start := int(env.lfLo)
+	for g := 0; g < int(env.grpHi-env.grpLo); g++ {
+		end := int(ar.grp[int(env.grpLo)+g])
+		for i := start; i < end; i++ {
+			if ar.budget[i] > 0 {
+				cands = append(cands, pick{g, i, ar.lf[i].extra})
 				break
 			}
 		}
+		start = end
 	}
-	env.cands = cands
-	env.sorter.s = cands
-	sort.Sort(&env.sorter)
+	ar.cands = cands
+	ar.sorter.s = cands
+	sort.Sort(&ar.sorter)
 
-	picks := env.picks[:0]
+	picks := ar.picks[:0]
 	total := 0
 	for _, c := range cands {
 		if total >= env.need {
@@ -330,7 +371,7 @@ func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
 		picks = append(picks, c)
 		total += c.extra
 	}
-	env.picks = picks
+	ar.picks = picks
 	if total < env.need {
 		return nil, total
 	}
@@ -338,11 +379,11 @@ func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
 	// meets the need, to preserve large extras.
 	last := &picks[len(picks)-1]
 	base := total - last.extra
-	g := env.lfGroups[last.gi]
-	for ii := len(g) - 1; ii > last.ii; ii-- {
-		if budgets[last.gi][ii] > 0 && base+g[ii].extra >= env.need {
-			total = base + g[ii].extra
-			last.ii, last.extra = ii, g[ii].extra
+	_, gEnd := ar.groupBounds(env, last.gi)
+	for i := gEnd - 1; i > last.ii; i-- {
+		if ar.budget[i] > 0 && base+ar.lf[i].extra >= env.need {
+			total = base + ar.lf[i].extra
+			last.ii, last.extra = i, ar.lf[i].extra
 			break
 		}
 	}
@@ -355,19 +396,22 @@ func pickCycle(env *dynEnv, budgets [][]int64) ([]pick, int) {
 // true optimum but is exact whenever a single group dominates, and the
 // result is additionally capped at need-1 which is the analytical
 // maximum.
-func leftoverExtras(env *dynEnv, budgets [][]int64) int {
+func (ar *dynArena) leftoverExtras(env *flatEnv) int {
 	cap := env.need - 1
 	total := 0
-	for gi, g := range env.lfGroups {
-		for ii, it := range g {
-			if budgets[gi][ii] <= 0 {
+	start := int(env.lfLo)
+	for g := 0; g < int(env.grpHi-env.grpLo); g++ {
+		end := int(ar.grp[int(env.grpLo)+g])
+		for i := start; i < end; i++ {
+			if ar.budget[i] <= 0 {
 				continue
 			}
-			if total+it.extra <= cap {
-				total += it.extra
+			if total+ar.lf[i].extra <= cap {
+				total += ar.lf[i].extra
 				break // one item per FrameID group
 			}
 		}
+		start = end
 	}
 	if total > cap {
 		total = cap
@@ -381,23 +425,25 @@ func leftoverExtras(env *dynEnv, budgets [][]int64) int {
 // pruned with the fractional upper bound total/need. Returns
 // (best, true) on completion, or (partial, false) once the node budget
 // is exhausted.
-func exactFill(env *dynEnv, budgets [][]int64, nodeCap int) (int64, bool) {
-	// Work on a copy: the caller reuses budgets for leftovers.
-	b := make([][]int64, len(budgets))
-	for i := range budgets {
-		b[i] = append([]int64(nil), budgets[i]...)
+func (ar *dynArena) exactFill(env *flatEnv, nodeCap int) (int64, bool) {
+	// Work on a pooled copy: the caller reuses the budget row for
+	// leftovers. b is indexed relative to lfLo.
+	lfLo, lfHi := int(env.lfLo), int(env.lfHi)
+	n := lfHi - lfLo
+	if cap(ar.exactBud) < n {
+		ar.exactBud = make([]int64, n)
 	}
+	b := ar.exactBud[:n]
+	copy(b, ar.budget[lfLo:lfHi])
 	nodes := 0
 	var best int64
 	exact := true
+	nGroups := ar.groups(env)
 
-	var totalExtras func() int64
-	totalExtras = func() int64 {
+	totalExtras := func() int64 {
 		var s int64
-		for gi, g := range env.lfGroups {
-			for ii, it := range g {
-				s += b[gi][ii] * int64(it.extra)
-			}
+		for i := 0; i < n; i++ {
+			s += b[i] * int64(ar.lf[lfLo+i].extra)
 		}
 		return s
 	}
@@ -427,15 +473,15 @@ func exactFill(env *dynEnv, budgets [][]int64, nodeCap int) (int64, bool) {
 			}
 			if sum >= env.need {
 				for _, p := range picks {
-					b[p.gi][p.ii]--
+					b[p.ii-lfLo]--
 				}
 				fill(done + 1)
 				for _, p := range picks {
-					b[p.gi][p.ii]++
+					b[p.ii-lfLo]++
 				}
 				return
 			}
-			if gi >= len(env.lfGroups) {
+			if gi >= nGroups {
 				return
 			}
 			// Skip this group.
@@ -443,13 +489,14 @@ func exactFill(env *dynEnv, budgets [][]int64, nodeCap int) (int64, bool) {
 			// Or take one of its budgeted items (distinct extras
 			// only; identical extras are symmetric).
 			seen := -1
-			for ii, it := range env.lfGroups[gi] {
-				if b[gi][ii] <= 0 || it.extra == seen {
+			gStart, gEnd := ar.groupBounds(env, gi)
+			for i := gStart; i < gEnd; i++ {
+				if b[i-lfLo] <= 0 || ar.lf[i].extra == seen {
 					continue
 				}
-				seen = it.extra
+				seen = ar.lf[i].extra
 				nodes++
-				choose(gi+1, sum+it.extra, append(picks, pick{gi, ii, it.extra}))
+				choose(gi+1, sum+ar.lf[i].extra, append(picks, pick{gi, i, ar.lf[i].extra}))
 			}
 		}
 		choose(0, 0, nil)

@@ -62,21 +62,25 @@ func (a *Analyzer) ExplainDYN(m model.ActID, res *Result) (DYNDelay, bool) {
 	if !act.IsMessage() || act.Class != model.DYN {
 		return DYNDelay{}, false
 	}
-	fid, ok := a.cfg.FrameID[m]
-	if !ok || a.cfg.NumMinislots <= 0 {
+	di := a.dynIdx[m]
+	fid := a.fids[di]
+	if fid < 0 || a.cfg.NumMinislots <= 0 {
 		return DYNDelay{}, false
 	}
-	need := a.fillNeed(act)
+	need := a.fillNeed(act, fid, int(di))
 	if need <= 0 {
 		return DYNDelay{
 			Msg: m, Jitter: res.J[m], Comm: act.C,
 			Response: a.cap(m), Saturated: true,
 		}, true
 	}
-	env, cached := a.envCache[m]
-	if !cached {
-		env = a.dynEnv(act, fid)
-		a.envCache[m] = env
+	// The interference instance counts read jitters from the dense
+	// iteration state; seed it from the supplied Result so the
+	// breakdown reflects exactly the analysis it explains.
+	a.loadJitters(res)
+	env := &a.ar.envs[di]
+	if !env.built {
+		a.buildEnv(int(di), act, fid)
 	}
 	env.need = need
 	cycle := a.cfg.Cycle()
@@ -90,7 +94,7 @@ func (a *Analyzer) ExplainDYN(m model.ActID, res *Result) (DYNDelay, bool) {
 	}
 	t := units.Duration(0)
 	for iter := 0; iter < 10000; iter++ {
-		filled, leftover := a.fillCycles(env, t, res)
+		filled, leftover := a.fillCycles(env, t)
 		wPrime := a.cfg.STBus() + units.Duration(fid-1+leftover)*msLen
 		w := units.SatAdd(sigma, units.SatAdd(units.Duration(filled)*cycle, wPrime))
 		d.BusCycles = filled
@@ -109,6 +113,18 @@ func (a *Analyzer) ExplainDYN(m model.ActID, res *Result) (DYNDelay, bool) {
 	d.Saturated = true
 	d.Response = units.SatAdd(d.Jitter, units.SatAdd(bound, act.C))
 	return d, true
+}
+
+// loadJitters seeds the dense jitter array from a finished Result, so
+// the explanation machinery counts interference instances with the same
+// jitters the analysis converged to.
+func (a *Analyzer) loadJitters(res *Result) {
+	clear(a.j)
+	for id, j := range res.J {
+		if int(id) < len(a.j) {
+			a.j[id] = j
+		}
+	}
 }
 
 // ExplainAll returns breakdowns for every DYN message, in FrameID

@@ -12,17 +12,17 @@ import (
 // availability function of the node rather than through wall-clock
 // time; interference comes from higher-priority FPS tasks on the same
 // node, each with its own inherited jitter (ref [13]).
-func (a *Analyzer) fpsResponse(act *model.Activity, jitter units.Duration, res *Result) units.Duration {
+func (a *Analyzer) fpsResponse(act *model.Activity, jitter units.Duration) units.Duration {
 	av := a.availability(act.Node)
-	hp := a.HigherPriorityFPS(act.ID)
-	bound := a.cap(act.ID)
+	hp := a.fpsOrder[a.hpStart[act.ID]:a.hpEnd[act.ID]]
+	bound := a.capD[act.ID]
 
 	// The critical instant against the static schedule is unknown, so
 	// the response is maximised over the busy-interval boundaries of
 	// one table period (plus phase 0).
 	var worst units.Duration
 	for _, phi := range av.BusyBoundaries() {
-		w := a.busyWindow(act, hp, phi, bound, res)
+		w := a.busyWindow(act, hp, phi, bound)
 		if w > worst {
 			worst = w
 		}
@@ -39,8 +39,10 @@ func (a *Analyzer) fpsResponse(act *model.Activity, jitter units.Duration, res *
 //
 // except that demand is converted to completion instants through the
 // SCS availability function: the window ends when the node has supplied
-// `demand` units of slack since the critical instant phi.
-func (a *Analyzer) busyWindow(act *model.Activity, hp []model.ActID, phi units.Time, bound units.Duration, res *Result) units.Duration {
+// `demand` units of slack since the critical instant phi. Jitters and
+// periods come from the analyzer's dense per-activity arrays, so the
+// inner loop is pure slice indexing.
+func (a *Analyzer) busyWindow(act *model.Activity, hp []model.ActID, phi units.Time, bound units.Duration) units.Duration {
 	app := &a.sys.App
 	av := a.availability(act.Node)
 
@@ -48,10 +50,8 @@ func (a *Analyzer) busyWindow(act *model.Activity, hp []model.ActID, phi units.T
 	for iter := 0; iter < 1000; iter++ {
 		demand := act.C
 		for _, h := range hp {
-			ha := app.Act(h)
-			jh := res.J[h]
-			n := units.CeilDiv(int64(w)+int64(jh), int64(app.Period(h)))
-			demand = units.SatAdd(demand, units.Duration(n)*ha.C)
+			n := units.CeilDiv(int64(w)+int64(a.j[h]), int64(a.period[h]))
+			demand = units.SatAdd(demand, units.Duration(n)*app.Acts[h].C)
 		}
 		end := av.Advance(phi, demand)
 		if units.Duration(end) >= units.Infinite {

@@ -329,10 +329,43 @@ func (e *Engine) Eval(sys *model.System, cfg *flexray.Config, opts sched.Options
 }
 
 // EvalBatch evaluates independent candidates across the worker pool and
-// returns positionally aligned results.
+// returns positionally aligned results. Without caching the batch is
+// split into contiguous chunks, one per worker slot, and each chunk
+// goes through the pinned session's batch path (core.Session.EvalBatch)
+// so the signature-grouped evaluation order amortises analyzer rebinds
+// across the whole chunk; with caching every candidate takes the
+// per-candidate cache protocol (lookup, in-flight coalescing, insert).
 func (e *Engine) EvalBatch(sys *model.System, cfgs []*flexray.Config, opts sched.Options) ([]*analysis.Result, []float64) {
 	ress := make([]*analysis.Result, len(cfgs))
 	costs := make([]float64, len(cfgs))
+	if len(cfgs) == 0 {
+		return ress, costs
+	}
+	if !e.caching {
+		n := cap(e.workers)
+		if n > len(cfgs) {
+			n = len(cfgs)
+		}
+		if n <= 1 {
+			e.runBatch(sys, cfgs, opts, ress, costs)
+			return ress, costs
+		}
+		chunk := (len(cfgs) + n - 1) / n
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(cfgs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cfgs) {
+				hi = len(cfgs)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				e.runBatch(sys, cfgs[lo:hi], opts, ress[lo:hi], costs[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+		return ress, costs
+	}
 	if cap(e.workers) == 1 || len(cfgs) == 1 {
 		// A single worker slot serialises the batch anyway; skip the
 		// goroutine fan-out.
@@ -351,6 +384,35 @@ func (e *Engine) EvalBatch(sys *model.System, cfgs []*flexray.Config, opts sched
 	}
 	wg.Wait()
 	return ress, costs
+}
+
+// runBatch evaluates one contiguous chunk of a batch on a single pinned
+// worker session, holding the worker slot for the whole chunk. Results
+// are written positionally into ress/costs (aligned with cfgs);
+// cancellation marks the remaining candidates infeasible, mirroring the
+// per-candidate path.
+func (e *Engine) runBatch(sys *model.System, cfgs []*flexray.Config, opts sched.Options, ress []*analysis.Result, costs []float64) {
+	markCancelled := func() {
+		for i := range cfgs {
+			ress[i], costs[i] = nil, infeasibleCost
+		}
+	}
+	var wk *engineWorker
+	select {
+	case wk = <-e.workers:
+		defer func() { e.workers <- wk }()
+	case <-e.ctx.Done():
+		markCancelled()
+		return
+	}
+	if e.ctx.Err() != nil {
+		markCancelled()
+		return
+	}
+	e.evals.Add(int64(len(cfgs)))
+	rs, cs := wk.session(sys, opts).EvalBatch(cfgs)
+	copy(ress, rs)
+	copy(costs, cs)
 }
 
 // run performs the real work on a pinned worker session.

@@ -289,13 +289,20 @@ func (e *evaluator) evalBatch(cfgs []*flexray.Config) ([]*analysis.Result, []flo
 		ress, costs := e.opts.Eval.EvalBatch(e.sys, cfgs, e.opts.Sched)
 		return ress, costs, n
 	}
-	ress := make([]*analysis.Result, n)
-	costs := make([]float64, n)
-	sess := e.session()
-	for i, cfg := range cfgs {
-		ress[i], costs[i] = sess.Eval(cfg)
-	}
+	ress, costs := e.session().EvalBatch(cfgs)
 	return ress, costs, n
+}
+
+// evalBatchAll evaluates every candidate regardless of the remaining
+// budget — the batched form of back-to-back e.eval calls on a fixed
+// slice, for call sites whose serial loop did not consult the budget
+// between evaluations (the curve fit's initial support set).
+func (e *evaluator) evalBatchAll(cfgs []*flexray.Config) ([]*analysis.Result, []float64) {
+	e.evals += len(cfgs)
+	if e.opts.Eval != nil {
+		return e.opts.Eval.EvalBatch(e.sys, cfgs, e.opts.Sched)
+	}
+	return e.session().EvalBatch(cfgs)
 }
 
 // exhausted reports whether the evaluation budget has run out.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/analysis"
@@ -46,10 +47,9 @@ func curveFitDYN(e *evaluator, cfg *flexray.Config) (*flexray.Config, *analysis.
 	}
 
 	// Line 1: the initial support set — min, max and three evenly
-	// spaced sizes (the paper used five points).
-	for _, nMS := range dynGrid(minMS, maxMS, e.opts.InitialPoints) {
-		cf.addPoint(nMS) // lines 2-5
-	}
+	// spaced sizes (the paper used five points). The sizes are
+	// independent, so they go through one batched evaluation.
+	cf.addPoints(dynGrid(minMS, maxMS, e.opts.InitialPoints)) // lines 2-5
 
 	bestSoFar := math.Inf(1)
 	noImprove := 0
@@ -146,6 +146,47 @@ func (cf *curveFit) addPoint(nMS int) *evalPoint {
 	}
 	res, cost := cf.e.eval(cand)
 	cf.e.traceEvent(cost, 0, 0, cf.e.improved(cost))
+	return cf.storePoint(nMS, cand, res, cost)
+}
+
+// addPoints evaluates a set of sizes through one batched evaluation.
+// Sizes already in the support set, duplicates, and structurally
+// infeasible cycles are filtered exactly as serial addPoint calls would
+// have, and the trace events fire in slice order after the batch — so
+// budget accounting and the stored support set match the serial loop.
+func (cf *curveFit) addPoints(sizes []int) {
+	var nms []int
+	var cands []*flexray.Config
+	for _, nMS := range sizes {
+		if _, ok := cf.pts[nMS]; ok {
+			continue
+		}
+		if slices.Contains(nms, nMS) {
+			continue
+		}
+		cand := cf.cfg.Clone()
+		cand.NumMinislots = nMS
+		if cand.Cycle() >= flexray.MaxCycle {
+			cf.pts[nMS] = &evalPoint{nMS: nMS, x: cf.x(nMS), cfg: cand, cost: infeasibleCost}
+			continue
+		}
+		nms = append(nms, nMS)
+		cands = append(cands, cand)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	ress, costs := cf.e.evalBatchAll(cands)
+	for i, nMS := range nms {
+		cf.e.traceEvent(costs[i], 0, 0, cf.e.improved(costs[i]))
+		cf.storePoint(nMS, cands[i], ress[i], costs[i])
+	}
+}
+
+// storePoint builds the support-set entry for one exactly evaluated
+// size, splitting the cost into the DYN responses (the interpolation
+// targets) and the non-DYN contributions.
+func (cf *curveFit) storePoint(nMS int, cand *flexray.Config, res *analysis.Result, cost float64) *evalPoint {
 	p := &evalPoint{nMS: nMS, x: cf.x(nMS), cfg: cand, res: res, cost: cost}
 	if res != nil {
 		app := &cf.e.sys.App

@@ -67,6 +67,13 @@ func SA(sys *model.System, opts Options) (*Result, error) {
 	}
 	e.traceEvent(curCost, temp, 1, true) // the starting point
 
+	// The walk is inherently candidate-at-a-time: each mutation starts
+	// from the current state, which the accept/reject decision of the
+	// previous evaluation just determined — so unlike the BBC/OBC sweep
+	// grids there is no independent slice to hand to the batched
+	// evaluation path. The session parity tests still replay SA's
+	// candidate stream through Session.EvalBatch to pin the batch path
+	// against it.
 	accepts := 0
 	for i := 0; i < opts.SAIterations && !e.exhausted(); i++ {
 		cand := mutate(sys, cur, rng, opts, senders)

@@ -107,6 +107,83 @@ func TestSessionMatchesFreshAnalyzer(t *testing.T) {
 	}
 }
 
+// TestSessionBatchMatchesFreshAnalyzer extends the determinism contract
+// to batched evaluation, separately for each algorithm's candidate
+// stream: the stream is captured, shuffled, chopped into random-sized
+// batches and replayed through Session.EvalBatch. Every result must
+// equal the fresh-analyzer result bit for bit, in its original slice
+// position — even though the session reorders evaluation inside a batch
+// by interference signature.
+func TestSessionBatchMatchesFreshAnalyzer(t *testing.T) {
+	sys := genSystem(t, 3, 11)
+	opts := sessionQuickOpts()
+	for _, alg := range sessionAlgs {
+		t.Run(alg.name, func(t *testing.T) {
+			hook := &recordingHook{}
+			hopts := opts
+			hopts.Eval = hook
+			if _, err := alg.run(sys, hopts); err != nil {
+				t.Fatal(err)
+			}
+			cfgs := hook.cfgs
+			if len(cfgs) < 10 {
+				t.Fatalf("captured only %d candidate configurations, want >= 10", len(cfgs))
+			}
+			rng := rand.New(rand.NewSource(7))
+			rng.Shuffle(len(cfgs), func(i, j int) { cfgs[i], cfgs[j] = cfgs[j], cfgs[i] })
+
+			sess := NewSession(sys, opts.Sched)
+			for lo := 0; lo < len(cfgs); {
+				hi := lo + 1 + rng.Intn(9)
+				if hi > len(cfgs) {
+					hi = len(cfgs)
+				}
+				batch := cfgs[lo:hi]
+				ress, costs := sess.EvalBatch(batch)
+				if len(ress) != len(batch) || len(costs) != len(batch) {
+					t.Fatalf("batch [%d:%d]: got %d results, %d costs", lo, hi, len(ress), len(costs))
+				}
+				for i, cfg := range batch {
+					fres, fcost := freshEval(sys, cfg, opts.Sched)
+					if costs[i] != fcost {
+						t.Fatalf("batch [%d:%d] pos %d: batched cost %v, fresh %v", lo, hi, i, costs[i], fcost)
+					}
+					if !reflect.DeepEqual(ress[i], fres) {
+						t.Fatalf("batch [%d:%d] pos %d: batched result differs from fresh analyzer", lo, hi, i)
+					}
+				}
+				lo = hi
+			}
+		})
+	}
+}
+
+// TestSessionBatchDuplicates pins the batch planner against repeated
+// candidates: duplicates land in the same signature group and must each
+// produce the full, independent result.
+func TestSessionBatchDuplicates(t *testing.T) {
+	sys := genSystem(t, 2, 5)
+	opts := sessionQuickOpts()
+	bbc, err := BBC(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []*flexray.Config
+	for i := 0; i < 12; i++ {
+		cfg := bbc.Config.Clone()
+		cfg.NumMinislots += i % 3
+		cfgs = append(cfgs, cfg)
+	}
+	sess := NewSession(sys, opts.Sched)
+	ress, costs := sess.EvalBatch(cfgs)
+	for i, cfg := range cfgs {
+		fres, fcost := freshEval(sys, cfg, opts.Sched)
+		if costs[i] != fcost || !reflect.DeepEqual(ress[i], fres) {
+			t.Fatalf("position %d: batched (%v) differs from fresh (%v)", i, costs[i], fcost)
+		}
+	}
+}
+
 // TestSessionMatchesFreshWithPlacement covers the non-memoised branch:
 // with holistic placement (PlacementCandidates > 1) the session must
 // rebuild the table per candidate and still match the fresh pipeline.

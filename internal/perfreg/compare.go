@@ -2,6 +2,7 @@ package perfreg
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"text/tabwriter"
 )
@@ -165,4 +166,68 @@ func formatMetric(metric string, v float64) string {
 		return fmt.Sprintf("%.0f", v)
 	}
 	return fmt.Sprintf("%d", int64(v))
+}
+
+// Benchstat renders a benchstat-style before/after summary of two
+// reports: one section per metric, each row showing old and new values
+// with the per-report noise band (±MAD as a percentage of the median,
+// time only — allocation counts have no sampling spread) and the
+// relative delta, plus a closing geomean row over the scenarios both
+// reports measured. It complements the gate table: the table answers
+// "did anything regress past its tolerance", this answers "how did the
+// run move overall".
+func Benchstat(base, cur *Report) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+
+	section := func(metric string, get func(*ScenarioResult) (val, mad float64)) {
+		fmt.Fprintf(tw, "name\told %s\tnew %s\tdelta\n", metric, metric)
+		ratios := make([]float64, 0, len(base.Scenarios))
+		for i := range base.Scenarios {
+			b := &base.Scenarios[i]
+			c := cur.Scenario(b.Name)
+			if c == nil {
+				continue
+			}
+			bv, bm := get(b)
+			cv, cm := get(c)
+			delta := "~"
+			if bv > 0 {
+				pct := 100 * (cv - bv) / bv
+				delta = fmt.Sprintf("%+.2f%%", pct)
+				if cv > 0 {
+					ratios = append(ratios, cv/bv)
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+				b.Name, benchstatValue(metric, bv, bm), benchstatValue(metric, cv, cm), delta)
+		}
+		if len(ratios) > 0 {
+			logSum := 0.0
+			for _, r := range ratios {
+				logSum += math.Log(r)
+			}
+			fmt.Fprintf(tw, "geomean\t\t\t%+.2f%%\n", 100*(math.Exp(logSum/float64(len(ratios)))-1))
+		}
+	}
+
+	section(MetricTime, func(s *ScenarioResult) (float64, float64) { return s.NsPerOp, s.NsMAD })
+	fmt.Fprintln(tw)
+	section(MetricAllocs, func(s *ScenarioResult) (float64, float64) { return float64(s.AllocsPerOp), 0 })
+	fmt.Fprintln(tw)
+	section(MetricBytes, func(s *ScenarioResult) (float64, float64) { return float64(s.BytesPerOp), 0 })
+	tw.Flush()
+	return sb.String()
+}
+
+// benchstatValue renders one metric value; time carries its ±MAD noise
+// band, counts are exact.
+func benchstatValue(metric string, v, mad float64) string {
+	if metric != MetricTime {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v <= 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.0f ±%2.0f%%", v, 100*mad/v)
 }

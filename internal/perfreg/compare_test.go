@@ -174,6 +174,66 @@ func TestCompareTable(t *testing.T) {
 	}
 }
 
+// TestBenchstat pins the before/after summary format: per-metric
+// sections with old/new columns, the ±MAD noise band on time, signed
+// percentage deltas, and a geomean row.
+func TestBenchstat(t *testing.T) {
+	base := fixtureReport(nil)
+	cur := fixtureReport(func(s *ScenarioResult) {
+		s.NsPerOp = 80_000 // -20%
+		s.NsMAD = 800      // ±1%
+		s.BytesPerOp = 6600
+	})
+	out := Benchstat(base, cur)
+	for _, want := range []string{
+		"old ns/op", "new ns/op",
+		"old allocs/op", "new allocs/op",
+		"old B/op", "new B/op",
+		"eval/session",
+		"100000 ± 0%", "80000 ± 1%", // time with noise band
+		"-20.00%", "+10.00%", // signed deltas
+		"geomean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("benchstat omits %q:\n%s", want, out)
+		}
+	}
+	// Unchanged allocation counts print a zero delta, not a blank.
+	if !strings.Contains(out, "+0.00%") {
+		t.Errorf("benchstat omits the zero delta row:\n%s", out)
+	}
+	// A scenario only the current report has contributes no row —
+	// Benchstat summarises the intersection.
+	cur.Scenarios = append(cur.Scenarios, ScenarioResult{Name: "new/one", NsPerOp: 1})
+	if out := Benchstat(base, cur); strings.Contains(out, "new/one") {
+		t.Errorf("benchstat includes a scenario the baseline lacks:\n%s", out)
+	}
+}
+
+// TestCatalogue pins the -list rendering contract: one row per
+// scenario, tolerance columns rendered as "-" (ungated), "exact"
+// (zero) or a percentage.
+func TestCatalogue(t *testing.T) {
+	out := Catalogue([]*Scenario{
+		{Name: "a/gated", Unit: "op", Description: "gated one"},
+		{Name: "b/free", Unit: "op", AllocTolPct: NoGate, BytesTolPct: NoGate, Description: "ungated one"},
+		{Name: "c/wide", Unit: "op", TimeTolPct: 40, AllocTolPct: 25, Description: "widened one"},
+	})
+	for _, want := range []string{
+		"a/gated", "exact", "15%", "10%", // defaults: time 15, allocs exact, bytes 10
+		"b/free", "-",
+		"c/wide", "40%", "25%",
+		"gated one", "ungated one", "widened one",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalogue omits %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 4 {
+		t.Errorf("catalogue has %d lines, want 4 (header + 3 rows):\n%s", got, out)
+	}
+}
+
 // TestSuiteShape pins the curated suite's contract: at least six
 // scenarios, unique names, the documented hot paths all covered, and
 // sane gating defaults (serial scenarios alloc-exact, concurrent ones

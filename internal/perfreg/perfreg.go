@@ -33,6 +33,8 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -301,6 +303,37 @@ func RunSuite(scens []*Scenario, cfg MeasureConfig) (*Report, error) {
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
 	return rep, nil
+}
+
+// Catalogue renders the suite as the human-readable table behind
+// `flexray-bench perf -list`: one row per scenario with its unit and
+// the gate tolerances Compare will apply, defaults resolved exactly as
+// Measure resolves them. "exact" marks a zero tolerance (any increase
+// regresses); "-" marks an ungated metric.
+func Catalogue(scens []*Scenario) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tunit\ttime-tol\talloc-tol\tbytes-tol\tdescription")
+	for _, sc := range scens {
+		s := sc.normalized()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			s.Name, s.Unit, formatTol(s.TimeTolPct), formatTol(s.AllocTolPct), formatTol(s.BytesTolPct),
+			s.Description)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// formatTol renders one gate tolerance for the catalogue.
+func formatTol(tol float64) string {
+	switch {
+	case tol < 0:
+		return "-"
+	case tol == 0:
+		return "exact"
+	default:
+		return fmt.Sprintf("%.0f%%", tol)
+	}
 }
 
 // median returns the middle value of xs (mean of the middle two for
