@@ -19,6 +19,8 @@ func TestFlagDocsDrift(t *testing.T) {
 	registerBenchFlags(global)
 	perf := flag.NewFlagSet("flexray-bench perf", flag.ContinueOnError)
 	registerPerfFlags(perf)
+	trace := flag.NewFlagSet("flexray-bench trace", flag.ContinueOnError)
+	registerTraceFlags(trace)
 
 	for _, doc := range []string{"README.md", "OPERATIONS.md"} {
 		path := filepath.Join("..", "..", doc)
@@ -27,7 +29,9 @@ func TestFlagDocsDrift(t *testing.T) {
 			t.Fatalf("reading %s: %v", doc, err)
 		}
 		text := string(data)
-		for set, fs := range map[string]*flag.FlagSet{"flexray-bench": global, "flexray-bench perf": perf} {
+		for set, fs := range map[string]*flag.FlagSet{
+			"flexray-bench": global, "flexray-bench perf": perf, "flexray-bench trace": trace,
+		} {
 			fs.VisitAll(func(f *flag.Flag) {
 				if !strings.Contains(text, "`-"+f.Name+"`") {
 					t.Errorf("%s omits %s flag `-%s` (%s)", doc, set, f.Name, f.Usage)

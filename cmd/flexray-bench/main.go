@@ -19,6 +19,11 @@
 //	flexray-bench perf [...]      # performance-regression harness
 //	                              # (BENCH_<seq>.json report + baseline gate;
 //	                              # see the "perf" flag set)
+//	flexray-bench trace [-server URL | -in FILE] [trace-id]
+//	                              # render an exported span trace as a
+//	                              # duration-breakdown tree (self/total
+//	                              # times per span; see the "trace" flag
+//	                              # set)
 //	flexray-bench all [-full]
 //
 // The population sweeps (fig7, fig9, campaign) shard their work across
@@ -124,6 +129,10 @@ var commands = []command{
 		func(_ *benchOptions, inv invocation, stdout, stderr io.Writer) int {
 			return runPerf(inv.perfArgs, stdout, stderr)
 		}},
+	{"trace", `span-trace duration breakdown (own flags; try "trace -h")`,
+		func(_ *benchOptions, inv invocation, stdout, stderr io.Writer) int {
+			return runTrace(inv.traceArgs, stdout, stderr)
+		}},
 	{"all", "everything except perf",
 		func(o *benchOptions, _ invocation, _, _ io.Writer) int {
 			fig1()
@@ -153,8 +162,9 @@ func commandByName(name string) *command {
 type invocation struct {
 	cmds []string
 	// perfArgs is everything after the "perf" subcommand; the perf
-	// flag set owns those arguments.
-	perfArgs []string
+	// flag set owns those arguments. traceArgs likewise for "trace".
+	perfArgs  []string
+	traceArgs []string
 }
 
 // splitArgs scans the non-flag arguments, accepting the global flags
@@ -206,6 +216,12 @@ func splitArgs(args []string, o *benchOptions) (invocation, error) {
 			// (-baseline, -quick, ...) are not experiment names.
 			inv.cmds = append(inv.cmds, "perf")
 			inv.perfArgs = args[i+1:]
+			return inv, nil
+		case strings.ToLower(a) == "trace":
+			// Likewise the trace renderer: its flags and the trace-ID
+			// operand are not experiment names.
+			inv.cmds = append(inv.cmds, "trace")
+			inv.traceArgs = args[i+1:]
 			return inv, nil
 		default:
 			inv.cmds = append(inv.cmds, strings.ToLower(a))

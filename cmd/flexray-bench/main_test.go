@@ -17,7 +17,7 @@ import (
 // executes — and flags interleave with subcommands in any position.
 func TestSubcommandsRecognized(t *testing.T) {
 	known := []string{"fig1", "fig3", "fig4", "fig7", "fig9",
-		"campaign", "cruise", "ablation", "perf", "all"}
+		"campaign", "cruise", "ablation", "perf", "trace", "all"}
 	for _, cmd := range known {
 		t.Run(cmd, func(t *testing.T) {
 			o := &benchOptions{}
@@ -109,6 +109,23 @@ func TestSplitArgsPerfOwnsTail(t *testing.T) {
 	}
 	if got := strings.Join(inv.perfArgs, " "); got != "-quick -baseline BENCH_5.json" {
 		t.Errorf("perfArgs = %q", got)
+	}
+}
+
+// TestSplitArgsTraceOwnsTail: the trace renderer owns everything after
+// "trace" — its flags and the trace-ID operand are not experiment
+// names.
+func TestSplitArgsTraceOwnsTail(t *testing.T) {
+	o := &benchOptions{}
+	inv, err := splitArgs([]string{"trace", "-in", "t.jsonl", "4bf92f3577b34da6a3ce929d0e0e4736"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.cmds) != 1 || inv.cmds[0] != "trace" {
+		t.Fatalf("cmds = %v", inv.cmds)
+	}
+	if got := strings.Join(inv.traceArgs, " "); got != "-in t.jsonl 4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("traceArgs = %q", got)
 	}
 }
 
@@ -259,6 +276,17 @@ func TestPerfFlagsRegistered(t *testing.T) {
 	for _, name := range []string{"quick", "list", "out", "baseline", "time-tol", "seq"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("perf flag -%s not registered", name)
+		}
+	}
+}
+
+// TestTraceFlagsRegistered pins the trace flag surface likewise.
+func TestTraceFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	registerTraceFlags(fs)
+	for _, name := range []string{"server", "in", "top"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("trace flag -%s not registered", name)
 		}
 	}
 }

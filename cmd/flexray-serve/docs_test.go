@@ -37,7 +37,10 @@ func TestFlagDocsDrift(t *testing.T) {
 // backticks) in the OPERATIONS.md metrics reference. Instrumenting a
 // new subsystem without documenting the series fails CI.
 func TestMetricsDocsDrift(t *testing.T) {
-	s, err := newServer(serverConfig{Workers: 1, MaxConcurrent: 1, Timeout: time.Minute})
+	// Tracing on: the flexray_trace_* span-store series only register
+	// on a trace-enabled server, and they must be documented too.
+	s, err := newServer(serverConfig{Workers: 1, MaxConcurrent: 1, Timeout: time.Minute,
+		TraceSample: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

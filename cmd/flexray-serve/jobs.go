@@ -18,11 +18,21 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &spec) {
 		return
 	}
+	// The request span's identity rides along in the spec: the manager
+	// continues the submitter's trace across the async boundary (and
+	// across a restart — the spec is persisted verbatim). An explicit
+	// client-supplied trace_parent is honoured over the request span.
+	if spec.TraceParent == "" {
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			spec.TraceParent = sp.Traceparent()
+		}
+	}
 	job, err := s.jobs.Submit(spec)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job)
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+		s.markShed()
 		w.Header().Set("Retry-After", retryAfter)
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, jobs.ErrStore):

@@ -9,7 +9,9 @@
 //	              [-timeout 2m] [-max-body 8388608] [-pprof]
 //	              [-store jobs.jsonl] [-job-workers N] [-queue-cap N]
 //	              [-retain-jobs N] [-retain-age D] [-retain-bytes N]
-//	              [-compact-interval D] [-log-format text|json] [-version]
+//	              [-compact-interval D] [-trace-sample R] [-trace-slow D]
+//	              [-trace-spans N] [-trace-detail run|phase]
+//	              [-log-format text|json] [-version]
 //
 // Synchronous endpoints:
 //
@@ -17,7 +19,9 @@
 //	                    "workers": 4, "options": {"sa_iterations": 500}}
 //	POST /v1/analyze   {"system": {...}, "config": {...}}
 //	POST /v1/simulate  {"system": {...}, "config": {...}, "repetitions": 2}
-//	GET  /healthz
+//	GET  /livez        liveness probe (the process serves HTTP)
+//	GET  /readyz       readiness probe (503 while draining or shedding)
+//	GET  /healthz      combined probe + build info + operational snapshot
 //	GET  /metrics      Prometheus text exposition (see OPERATIONS.md)
 //	GET  /debug/pprof/ (only with -pprof; off by default)
 //
@@ -29,7 +33,20 @@
 //	GET    /v1/jobs/{id}/result fetch the payload of a finished job
 //	GET    /v1/jobs/{id}/events live progress via Server-Sent Events
 //	GET    /v1/jobs/{id}/trace  optimiser convergence trace of the job
+//	GET    /v1/jobs/{id}/spans  span summary + live span tree of the job
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//
+// Span tracing (off by default, zero-cost while off): -trace-sample
+// head-samples requests into span trees spanning the HTTP middleware,
+// job lifecycle, campaign shards and optimiser runs (-trace-detail
+// phase adds optimiser-internal phases); -trace-slow additionally
+// records any span slower than the threshold, sampled or not. An
+// incoming W3C traceparent header is continued — across the async job
+// boundary and server restarts — and responses echo X-Trace-Id plus a
+// traceparent. Assembled traces are served at GET /v1/traces/{id} as
+// OTLP/JSON lines (render with `flexray-bench trace`), bounded in
+// memory by -trace-spans; latency histograms carry trace-ID exemplars
+// in the OpenMetrics exposition.
 //
 // Example round-trip (the paper's cruise-controller case study):
 //
@@ -70,6 +87,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -104,6 +122,10 @@ type serveOptions struct {
 	retainBytes     int64
 	compactInterval time.Duration
 	logFormat       string
+	traceSample     float64
+	traceSlow       time.Duration
+	traceSpans      int
+	traceDetail     string
 	version         bool
 }
 
@@ -125,6 +147,10 @@ func registerFlags(fs *flag.FlagSet) *serveOptions {
 	fs.Int64Var(&o.retainBytes, "retain-bytes", 0, "total encoded job-result bytes retained before the oldest results are evicted (0 = unlimited)")
 	fs.DurationVar(&o.compactInterval, "compact-interval", 0, "rewrite the -store file to live state this often (0 = only at shutdown)")
 	fs.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text or json")
+	fs.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of requests span-traced (0 disables tracing, 1 traces everything)")
+	fs.DurationVar(&o.traceSlow, "trace-slow", 0, "always record traces slower than this even when unsampled (0 = off)")
+	fs.IntVar(&o.traceSpans, "trace-spans", 65536, "spans retained in memory across all traces (oldest traces evicted first)")
+	fs.StringVar(&o.traceDetail, "trace-detail", "run", "span granularity: run (one span per optimiser) or phase (optimiser-internal phases too)")
 	fs.BoolVar(&o.version, "version", false, "print build information and exit")
 	return o
 }
@@ -172,6 +198,10 @@ func main() {
 		},
 		JobCompactInterval: o.compactInterval,
 		Logger:             logger,
+		TraceSample:        o.traceSample,
+		TraceSlow:          o.traceSlow,
+		TraceSpans:         o.traceSpans,
+		TraceDetail:        o.traceDetail,
 	})
 	if err != nil {
 		logger.Error("startup", "error", err)
@@ -246,6 +276,14 @@ type serverConfig struct {
 	// Logger receives the request and operational logs; nil uses
 	// slog.Default().
 	Logger *slog.Logger
+	// TraceSample/TraceSlow enable span tracing (the -trace-* flags):
+	// tracing is off — the zero-cost nil-tracer path — unless at least
+	// one of them is positive. TraceSpans bounds the in-memory span
+	// store; TraceDetail is "run" or "phase".
+	TraceSample float64
+	TraceSlow   time.Duration
+	TraceSpans  int
+	TraceDetail string
 }
 
 // server carries the shared request-shaping state; it implements
@@ -265,6 +303,14 @@ type server struct {
 	log      *slog.Logger
 	inflight *obs.Gauge
 	build    buildInfo
+	// tracer and spans are nil when tracing is disabled; every span
+	// call in the request path is nil-safe, so the disabled server
+	// runs the exact allocation profile of the untraced build.
+	tracer *obs.Tracer
+	spans  *obs.SpanStore
+	// lastShed is the UnixNano of the most recent load shed (503);
+	// readiness reports not-ready for shedWindow after it.
+	lastShed atomic.Int64
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -289,6 +335,9 @@ func newServer(cfg serverConfig) (*server, error) {
 		build:   readBuildInfo(),
 	}
 	s.reg = s.newRegistry()
+	if err := s.initTracing(); err != nil {
+		return nil, err
+	}
 	mgr, err := jobs.NewManager(cfg.JobStore, jobs.ManagerOptions{
 		Workers:         cfg.JobWorkers,
 		QueueCap:        cfg.JobQueueCap,
@@ -296,6 +345,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		Retention:       cfg.JobRetention,
 		CompactInterval: cfg.JobCompactInterval,
 		Metrics:         jobs.NewMetrics(s.reg),
+		Tracer:          s.tracer,
 		Logf: func(format string, args ...any) {
 			cfg.Logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -306,7 +356,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.jobs = mgr
 	s.bindEngineMetrics()
 	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /livez", s.handleLivez)
+	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.reg.ServeHTTP)
+	s.route("GET /v1/traces/{id}", s.handleTraceGet)
+	s.route("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	s.route("POST /v1/optimize", s.guard(s.handleOptimize))
 	s.route("POST /v1/analyze", s.guard(s.handleAnalyze))
 	s.route("POST /v1/simulate", s.guard(s.handleSimulate))
@@ -381,6 +435,7 @@ func (s *server) compute(ctx context.Context, fn func()) error {
 	select {
 	case s.heavy <- struct{}{}:
 	default:
+		s.markShed()
 		return errBusy
 	}
 	done := make(chan struct{})
@@ -411,15 +466,27 @@ func computeError(w http.ResponseWriter, err error) {
 	httpError(w, http.StatusGatewayTimeout, "computation exceeded the request budget")
 }
 
+// handleHealth is the combined probe: the /livez payload plus the
+// /readyz verdict in one response, for operators and single-probe
+// deployments. Orchestrated deployments should point their liveness
+// and readiness probes at the split endpoints instead — restarting a
+// pod because its queue is momentarily full is exactly the mistake the
+// split exists to prevent.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	stats := s.jobs.Stats()
 	engine := stats.Engine
 	engine.Add(s.engine.Total())
-	// Liveness answers must never be served stale by an intermediary
+	ready, detail := s.readiness()
+	status, code := "ok", http.StatusOK
+	if !ready {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	// Probe answers must never be served stale by an intermediary
 	// cache: a probe that hits a cache defeats its purpose.
 	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"ready":     detail,
 		"uptime_s":  int64(time.Since(s.started).Seconds()),
 		"workers":   effectiveWorkers(s.cfg.Workers),
 		"gomaxproc": runtime.GOMAXPROCS(0),

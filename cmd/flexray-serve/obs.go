@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -85,6 +86,17 @@ func (s *server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		id := requestID(r)
 		w.Header().Set("X-Request-Id", id)
+		// The root span continues an incoming W3C traceparent or
+		// starts a fresh trace; nil (and free) with tracing disabled.
+		// The response echoes the trace identity so a client can
+		// fetch GET /v1/traces/{id} without having sent a traceparent.
+		r, span := s.startRequestSpan(r, method, path, id)
+		traceID := ""
+		if span.Sampled() {
+			traceID = span.TraceID()
+			w.Header().Set("X-Trace-Id", traceID)
+			w.Header().Set(obs.TraceparentHeader, span.Traceparent())
+		}
 		s.inflight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -102,15 +114,28 @@ func (s *server) route(pattern string, h http.HandlerFunc) {
 					defer panic(recovered) // re-raise for net/http's logging
 				}
 			}
+			span.SetInt("http.status", int64(code))
+			if code >= 500 {
+				span.Fail(errors.New(http.StatusText(code)))
+			}
+			span.End()
 			s.reg.Counter("flexray_http_requests_total", helpHTTPRequests,
 				"route", path, "method", method, "code", strconv.Itoa(code)).Inc()
-			hist.Observe(elapsed.Seconds())
-			s.log.LogAttrs(r.Context(), levelFor(path, code), "request",
+			// Sampled requests attach their trace ID as an OpenMetrics
+			// exemplar on the latency histogram, linking a slow bucket
+			// straight to a fetchable trace.
+			hist.ObserveExemplar(elapsed.Seconds(), traceID)
+			attrs := []slog.Attr{
 				slog.String("id", id),
 				slog.String("method", method),
 				slog.String("route", path),
 				slog.Int("status", code),
-				slog.Duration("duration", elapsed))
+				slog.Duration("duration", elapsed),
+			}
+			if traceID != "" {
+				attrs = append(attrs, slog.String("trace_id", traceID))
+			}
+			s.log.LogAttrs(r.Context(), levelFor(path, code), "request", attrs...)
 		}()
 		h(sw, r)
 	})
@@ -124,7 +149,7 @@ func levelFor(path string, code int) slog.Level {
 		return slog.LevelError
 	case code >= 400:
 		return slog.LevelWarn
-	case path == "/metrics" || path == "/healthz":
+	case path == "/metrics" || path == "/healthz" || path == "/livez" || path == "/readyz":
 		return slog.LevelDebug
 	}
 	return slog.LevelInfo

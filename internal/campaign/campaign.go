@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/flexray"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -138,17 +141,30 @@ func runShards(ctx context.Context, n, workers int, emit func(Record) error, eva
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range jobs {
-				rec := eval(ctx, i)
-				select {
-				case results <- rec:
-				case <-ctx.Done():
-					return
+			// One "campaign.shard" span per worker goroutine groups
+			// the per-system spans it processes; the pprof label
+			// attributes the shard's CPU samples.
+			wctx, wsp := obs.StartSpan(ctx, "campaign.shard")
+			wsp.SetInt("shard", int64(w))
+			systems := 0
+			defer func() {
+				wsp.SetInt("systems", int64(systems))
+				wsp.End()
+			}()
+			pprof.Do(wctx, pprof.Labels("campaign_shard", strconv.Itoa(w)), func(wctx context.Context) {
+				for i := range jobs {
+					rec := eval(wctx, i)
+					systems++
+					select {
+					case results <- rec:
+					case <-wctx.Done():
+						return
+					}
 				}
-			}
-		}()
+			})
+		}(w)
 	}
 	go func() {
 		defer close(jobs)
@@ -246,6 +262,10 @@ func optimiseSystem(ctx context.Context, rec *Record, sys *model.System, opts co
 	engine := NewEngine(ctx, copts.Engine)
 	runOpts := engine.Hook(opts)
 	runOpts.Trace = stampSystem(runOpts.Trace, sys.Name)
+	ctx, ssp := obs.StartSpan(ctx, "campaign.system")
+	ssp.SetString("system", sys.Name)
+	runOpts.Span = ssp
+	defer func() { endSystemSpan(ssp, engine.Stats()) }()
 
 	var (
 		obcCfg  *flexray.Config
@@ -256,7 +276,7 @@ func optimiseSystem(ctx context.Context, rec *Record, sys *model.System, opts co
 		if alg == "SA" && copts.SAWarmFromOBC && obcCfg != nil {
 			aOpts.SAWarmStart = obcCfg
 		}
-		res, err := runAlgorithm(alg, sys, aOpts)
+		res, err := runAlgorithm(ctx, alg, sys, aOpts)
 		run := newAlgoRun(alg, res, err)
 		rec.Runs = append(rec.Runs, run)
 		if err != nil {

@@ -88,7 +88,7 @@ func TestCampaignMatchesSerialOptimisers(t *testing.T) {
 			if run.Algorithm == "SA" && warm != nil {
 				aOpts.SAWarmStart = warm.Result.Config
 			}
-			want, err := runAlgorithm(run.Algorithm, sys, aOpts)
+			want, err := runAlgorithm(context.Background(), run.Algorithm, sys, aOpts)
 			if err != nil {
 				t.Fatalf("record %d %s: %v", i, run.Algorithm, err)
 			}

@@ -59,13 +59,13 @@ func TestEngineMatchesSerial(t *testing.T) {
 	sys := testSystem(t, 3, 7)
 	opts := quickOpts()
 	for _, alg := range Algorithms {
-		serial, err := runAlgorithm(alg, sys, opts)
+		serial, err := runAlgorithm(context.Background(), alg, sys, opts)
 		if err != nil {
 			t.Fatalf("%s serial: %v", alg, err)
 		}
 		for _, workers := range []int{1, 4} {
 			eng := NewEngine(context.Background(), EngineOptions{Workers: workers})
-			res, err := runAlgorithm(alg, sys, eng.Hook(opts))
+			res, err := runAlgorithm(context.Background(), alg, sys, eng.Hook(opts))
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", alg, workers, err)
 			}
@@ -170,7 +170,7 @@ func TestPortfolioMatchesSerial(t *testing.T) {
 
 	serial := map[string]*core.Result{}
 	for _, alg := range Algorithms {
-		res, err := runAlgorithm(alg, sys, opts)
+		res, err := runAlgorithm(context.Background(), alg, sys, opts)
 		if err != nil {
 			t.Fatalf("%s serial: %v", alg, err)
 		}

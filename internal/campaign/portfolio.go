@@ -3,12 +3,14 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Algorithms is the canonical optimiser portfolio, in the paper's
@@ -29,19 +31,46 @@ func NormalizeAlgorithm(name string) (string, error) {
 		name, strings.Join(Algorithms, ", "))
 }
 
-// runAlgorithm dispatches one canonical algorithm name.
-func runAlgorithm(name string, sys *model.System, opts core.Options) (*core.Result, error) {
-	switch name {
-	case "BBC":
-		return core.BBC(sys, opts)
-	case "OBC-CF":
-		return core.OBCCF(sys, opts)
-	case "OBC-EE":
-		return core.OBCEE(sys, opts)
-	case "SA":
-		return core.SA(sys, opts)
+// runAlgorithm dispatches one canonical algorithm name. Each run is
+// recorded as an "opt.<name>" child span of opts.Span (when tracing)
+// and labelled with `alg` for CPU-profile attribution; ctx carries
+// the enclosing pprof label set (job_kind) forward.
+func runAlgorithm(ctx context.Context, name string, sys *model.System, opts core.Options) (res *core.Result, err error) {
+	sp := opts.Span.StartChild("opt." + name)
+	opts.Span = sp
+	pprof.Do(ctx, pprof.Labels("alg", name), func(context.Context) {
+		switch name {
+		case "BBC":
+			res, err = core.BBC(sys, opts)
+		case "OBC-CF":
+			res, err = core.OBCCF(sys, opts)
+		case "OBC-EE":
+			res, err = core.OBCEE(sys, opts)
+		case "SA":
+			res, err = core.SA(sys, opts)
+		default:
+			err = fmt.Errorf("campaign: unknown algorithm %q", name)
+		}
+	})
+	if err != nil {
+		sp.Fail(err)
+	} else if res != nil {
+		sp.SetInt("evaluations", int64(res.Evaluations))
+		sp.SetFloat("cost", res.Cost)
+		sp.SetBool("schedulable", res.Schedulable)
 	}
-	return nil, fmt.Errorf("campaign: unknown algorithm %q", name)
+	sp.End()
+	return res, err
+}
+
+// endSystemSpan closes a "campaign.system" span with the engine's
+// final counters: cache hits count evaluations one algorithm saved
+// another, the headline number the shared engine exists for.
+func endSystemSpan(sp *obs.Span, st EngineStats) {
+	sp.SetInt("evaluations", st.Evaluations)
+	sp.SetInt("cache_hits", st.CacheHits)
+	sp.SetInt("cache_misses", st.CacheMisses)
+	sp.End()
 }
 
 // AlgoRun is the telemetry of one algorithm inside a portfolio or
@@ -136,6 +165,11 @@ func Portfolio(ctx context.Context, sys *model.System, opts core.Options, eng En
 	engine := NewEngine(ctx, eng)
 	runOpts := engine.Hook(opts)
 	runOpts.Trace = stampSystem(runOpts.Trace, sys.Name)
+	// The per-system span groups the concurrent per-algorithm child
+	// spans; engine cache counters land on it after the race.
+	ctx, ssp := obs.StartSpan(ctx, "campaign.system")
+	ssp.SetString("system", sys.Name)
+	runOpts.Span = ssp
 
 	runs := make([]AlgoRun, len(algs))
 	var wg sync.WaitGroup
@@ -143,11 +177,12 @@ func Portfolio(ctx context.Context, sys *model.System, opts core.Options, eng En
 		wg.Add(1)
 		go func(i int, alg string) {
 			defer wg.Done()
-			res, err := runAlgorithm(alg, sys, runOpts)
+			res, err := runAlgorithm(ctx, alg, sys, runOpts)
 			runs[i] = newAlgoRun(alg, res, err)
 		}(i, alg)
 	}
 	wg.Wait()
+	endSystemSpan(ssp, engine.Stats())
 
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/flexray"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // BBC computes the Basic Bus Configuration (Section 6.1, Fig. 5): the
@@ -67,6 +68,13 @@ func BBC(sys *model.System, opts Options) (*Result, error) {
 		bestRes  *analysis.Result
 		bestCost = infeasibleCost * 2
 	)
+	// Phase granularity wraps the whole sweep batch in one span; the
+	// per-candidate path stays untouched.
+	var phase *obs.Span
+	if opts.Span.Phases() {
+		phase = opts.Span.StartChild("bbc.sweep")
+		phase.SetInt("candidates", int64(len(cands)))
+	}
 	ress, costs, n := e.evalBatch(cands) // lines 8-9
 	for i := 0; i < n; i++ {
 		e.traceEvent(costs[i], 0, 0, e.improved(costs[i]))
@@ -74,6 +82,7 @@ func BBC(sys *model.System, opts Options) (*Result, error) {
 			best, bestRes, bestCost = cands[i], ress[i], costs[i]
 		}
 	}
+	phase.End()
 	if best == nil {
 		return nil, errNoDYNRoom
 	}

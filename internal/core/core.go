@@ -104,6 +104,17 @@ type Options struct {
 	// pinned session-evaluation allocation count intact.
 	Trace obs.TraceFunc
 
+	// Span, when non-nil, is the parent span the optimiser records
+	// itself under: the campaign layer sets it to the per-algorithm
+	// span, and — when the tracer asks for GranPhase detail
+	// (Span.Phases()) — the optimisers add child spans for their
+	// internal phases (OBC seed sweep and exploration, curve-fit
+	// support/refine, the SA anneal loop, the BBC sweep). Phase spans
+	// wrap whole loops, never single candidates, so the per-candidate
+	// hot path stays allocation-free; a nil Span costs one nil check
+	// per run.
+	Span *obs.Span
+
 	// SAIterations bounds the simulated annealing run.
 	SAIterations int
 	// SAWarmStart, when non-nil, seeds the annealer with an existing

@@ -9,6 +9,7 @@ import (
 	"repro/internal/flexray"
 	"repro/internal/interp"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -48,8 +49,27 @@ func curveFitDYN(e *evaluator, cfg *flexray.Config) (*flexray.Config, *analysis.
 
 	// Line 1: the initial support set — min, max and three evenly
 	// spaced sizes (the paper used five points). The sizes are
-	// independent, so they go through one batched evaluation.
+	// independent, so they go through one batched evaluation. Phase
+	// granularity records the support build and the refinement loop as
+	// two spans; the per-point path stays untouched.
+	phases := e.opts.Span.Phases()
+	var support *obs.Span
+	if phases {
+		support = e.opts.Span.StartChild("cf.support")
+	}
 	cf.addPoints(dynGrid(minMS, maxMS, e.opts.InitialPoints)) // lines 2-5
+	if support != nil {
+		support.SetInt("points", int64(len(cf.pts)))
+		support.End()
+	}
+
+	if phases {
+		refine := e.opts.Span.StartChild("cf.refine")
+		defer func() {
+			refine.SetInt("points", int64(len(cf.pts)))
+			refine.End()
+		}()
+	}
 
 	bestSoFar := math.Inf(1)
 	noImprove := 0

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/flexray"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -80,7 +81,12 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 		cfg0.StaticSlotLen = slotLenMin
 		cfg0.StaticSlotOwner = assignSlotsByQuota(sys, minSlots)
 		if cfg0.STBus() < flexray.MaxCycle {
+			var seed *obs.Span
+			if opts.Span.Phases() {
+				seed = opts.Span.StartChild("obc.seed")
+			}
 			cand, res, cost := exhaustiveDYN(e, cfg0)
+			seed.End()
 			if cand != nil {
 				best, bestRes, bestCost = cand, res, cost
 				if cost <= 0 {
@@ -88,6 +94,19 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 				}
 			}
 		}
+	}
+
+	// Phase granularity wraps the whole static-segment exploration in
+	// one span; the feasible-stop returns inside the loop end it via
+	// the defer. The per-candidate path stays untouched.
+	var explore *obs.Span
+	staticConfigs := 0
+	if opts.Span.Phases() {
+		explore = opts.Span.StartChild("obc.explore")
+		defer func() {
+			explore.SetInt("static_configs", int64(staticConfigs))
+			explore.End()
+		}()
 	}
 
 	for numSlots := minSlots; numSlots <= maxSlots && !e.exhausted(); numSlots++ { // lines 2-3
@@ -106,6 +125,7 @@ func obc(sys *model.System, opts Options, alg string, size dynSizer) (*Result, e
 			if cfg.STBus() >= flexray.MaxCycle {
 				break // growing further only worsens the cycle limit
 			}
+			staticConfigs++
 			cand, res, cost := size(e, cfg) // line 6
 			if cand != nil && cost < bestCost {
 				best, bestRes, bestCost = cand, res, cost

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/flexray"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // SA explores the design space with simulated annealing (ref [8]); the
@@ -74,8 +75,15 @@ func SA(sys *model.System, opts Options) (*Result, error) {
 	// evaluation path. The session parity tests still replay SA's
 	// candidate stream through Session.EvalBatch to pin the batch path
 	// against it.
-	accepts := 0
+	// Phase granularity wraps the whole anneal loop in one span — the
+	// per-iteration path stays untouched.
+	var phase *obs.Span
+	if opts.Span.Phases() {
+		phase = opts.Span.StartChild("sa.anneal")
+	}
+	accepts, iters := 0, 0
 	for i := 0; i < opts.SAIterations && !e.exhausted(); i++ {
+		iters++
 		cand := mutate(sys, cur, rng, opts, senders)
 		if cand == nil {
 			temp *= cooling
@@ -97,6 +105,11 @@ func SA(sys *model.System, opts Options) (*Result, error) {
 		}
 		e.traceEvent(cost, temp, float64(accepts)/float64(i+1), accepted)
 		temp *= cooling
+	}
+	if phase != nil {
+		phase.SetInt("iterations", int64(iters))
+		phase.SetInt("accepts", int64(accepts))
+		phase.End()
 	}
 	return e.finish(best, bestRes, bestCost), nil
 }

@@ -171,6 +171,12 @@ type Spec struct {
 	Mode string `json:"mode,omitempty"`
 	// Repetitions tunes simulate sweeps (0 keeps the default).
 	Repetitions int `json:"repetitions,omitempty"`
+	// TraceParent is the W3C traceparent of the span that submitted
+	// the job. The manager continues that trace when it runs the job,
+	// so a request trace spans the asynchronous boundary — and, since
+	// specs are stored verbatim, even a manager restart. Empty when
+	// the submitter was not traced.
+	TraceParent string `json:"trace_parent,omitempty"`
 }
 
 // compiled is a Spec parsed into runnable form. Compilation happens
@@ -292,6 +298,14 @@ type Progress struct {
 	Engine campaign.EngineStats `json:"engine"`
 }
 
+// SpanSummary is the persisted digest of one lifecycle span of a job:
+// enough to answer "where did this job spend its time" after the
+// in-memory span store evicted (or never sampled) the full trace.
+type SpanSummary struct {
+	Name       string `json:"name"`
+	DurationUs int64  `json:"duration_us"`
+}
+
 // Job is the externally visible snapshot of one job. The spec is kept
 // out of the snapshot on purpose: uploaded populations make it large.
 type Job struct {
@@ -304,6 +318,12 @@ type Job struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// TraceID is the hex trace the job's spans belong to (set once
+	// the job starts under a tracing-enabled manager).
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans are the persisted lifecycle span summaries (terminal
+	// jobs only).
+	Spans []SpanSummary `json:"spans,omitempty"`
 }
 
 // OptimizeResult is the payload of a finished optimize job.

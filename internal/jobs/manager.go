@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,13 @@ type ManagerOptions struct {
 	// Traces are not persisted: jobs replayed from the store report
 	// an empty trace.
 	TraceCap int
+	// Tracer, when non-nil, spans the job lifecycle: a queued-wait
+	// span, the run itself (whose context the campaign and optimiser
+	// layers extend with their own child spans), the terminal store
+	// append and store compactions. A job whose spec carries a
+	// TraceParent continues the submitter's trace; otherwise each job
+	// starts its own. Nil disables job tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultTraceCap is the per-job optimiser trace bound used when
@@ -141,6 +149,10 @@ type job struct {
 	// job starts running (optimize/campaign kinds with capture on).
 	// In-memory only; replayed jobs have none.
 	trace *obs.TraceRing
+	// traceID/spans link the job to its span trace and keep the
+	// persisted lifecycle summaries (tracing-enabled managers only).
+	traceID string
+	spans   []SpanSummary
 }
 
 func (j *job) snapshot() Job {
@@ -154,6 +166,8 @@ func (j *job) snapshot() Job {
 		SubmittedAt: j.submittedAt,
 		StartedAt:   j.startedAt,
 		FinishedAt:  j.finishedAt,
+		TraceID:     j.traceID,
+		Spans:       j.spans,
 	}
 }
 
@@ -346,6 +360,12 @@ func (m *Manager) replay() error {
 				j.progress = *rec.Progress
 			}
 			j.result = rec.Result
+			if rec.TraceID != "" {
+				j.traceID = rec.TraceID
+			}
+			if len(rec.Spans) > 0 {
+				j.spans = rec.Spans
+			}
 			// Records written before the result_bytes field carry 0;
 			// only then is the result re-measured.
 			j.resultBytes = rec.ResultBytes
@@ -732,7 +752,7 @@ func (m *Manager) finishLocked(j *job, st Status, errMsg string, res *Result, re
 	return StoreRecord{
 		Type: recordStatus, ID: j.id, Time: j.finishedAt,
 		Status: st, Error: errMsg, Progress: &prog, Result: res,
-		ResultBytes: resBytes,
+		ResultBytes: resBytes, TraceID: j.traceID, Spans: j.spans,
 	}
 }
 
@@ -798,7 +818,38 @@ func (m *Manager) startNext() (*job, context.Context) {
 // shutting down, checkpoints it back to queued so a restarted manager
 // resumes it from the store.
 func (m *Manager) execute(ctx context.Context, j *job) {
-	res, err := m.run(ctx, j)
+	// Span the lifecycle: "job" covers submission to terminal state,
+	// "job.queued" the wait for a worker, "job.run" the execution the
+	// campaign/optimiser layers hang their child spans off. A spec
+	// carrying a TraceParent continues the submitter's trace (across
+	// the async boundary, and — since specs are persisted — across a
+	// manager restart); otherwise the job roots its own trace.
+	var jobSpan, runSpan *obs.Span
+	if tr := m.opts.Tracer; tr != nil {
+		parent, _ := obs.ParseTraceparent(j.spec.TraceParent)
+		ctx, jobSpan = tr.StartRoot(ctx, "job", parent)
+		jobSpan.SetStart(j.submittedAt)
+		jobSpan.SetString("job_id", j.id)
+		jobSpan.SetString("job_kind", string(j.spec.Kind))
+		queued := jobSpan.StartChild("job.queued")
+		queued.SetStart(j.submittedAt)
+		queued.End()
+		runSpan = jobSpan.StartChild("job.run")
+		ctx = obs.ContextWithSpan(ctx, runSpan)
+		m.mu.Lock()
+		j.traceID = jobSpan.TraceID()
+		m.publishLocked(j, "update")
+		m.mu.Unlock()
+	}
+	// CPU profiles (including default.pgo regeneration) attribute
+	// samples per workload via the pprof label.
+	var res *Result
+	var err error
+	pprof.Do(ctx, pprof.Labels("job_kind", string(j.spec.Kind)), func(ctx context.Context) {
+		res, err = m.run(ctx, j)
+	})
+	runSpan.Fail(err)
+	runSpan.End()
 	// Encoded result size, for the retention byte budget; computed
 	// before any lock is taken (campaign results can be large).
 	resBytes := resultSize(res)
@@ -810,6 +861,15 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 		defer cancel() // release the context's resources
 	}
 	started := j.startedAt
+	if jobSpan != nil {
+		// Lifecycle summaries persist with the terminal record: the
+		// span store is bounded and in-memory, the store record is
+		// neither.
+		j.spans = []SpanSummary{
+			{Name: "job.queued", DurationUs: started.Sub(j.submittedAt).Microseconds()},
+			{Name: "job.run", DurationUs: time.Since(started).Microseconds()},
+		}
+	}
 	var rec StoreRecord
 	switch {
 	case err == nil:
@@ -828,6 +888,8 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 		j.startedAt = time.Time{}
 		j.progress = Progress{}
 		j.cancel = nil
+		// The re-run under a restarted manager roots a fresh trace.
+		j.traceID, j.spans = "", nil
 		rec = StoreRecord{
 			Type: recordStatus, ID: j.id, Time: time.Now(),
 			Status: StatusQueued, Progress: &Progress{},
@@ -843,7 +905,17 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 		runDur = j.finishedAt.Sub(started)
 	}
 	m.mu.Unlock()
+	appendName := "store.append"
+	if !terminal {
+		appendName = "job.checkpoint"
+	}
+	aspan := jobSpan.StartChild(appendName)
 	m.appendStatus(rec)
+	aspan.End()
+	if terminal && final != StatusDone && rec.Error != "" {
+		jobSpan.Fail(errors.New(rec.Error))
+	}
+	jobSpan.End()
 	m.gate.RUnlock()
 	if terminal {
 		m.opts.Metrics.observeFinished(final, runDur)
@@ -858,6 +930,23 @@ func (m *Manager) updateProgress(j *job, mut func(p *Progress)) {
 	mut(&j.progress)
 	m.publishLocked(j, "update")
 	m.mu.Unlock()
+}
+
+// Accepting reports whether the manager still accepts submissions
+// (false once Close has begun). Readiness probes use it.
+func (m *Manager) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closing
+}
+
+// QueueDepth returns the current queue occupancy (queued plus
+// in-flight submissions) and the capacity bound at which submissions
+// shed with ErrQueueFull.
+func (m *Manager) QueueDepth() (depth, capacity int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue) + m.reserved, m.opts.QueueCap
 }
 
 // Stats snapshots the manager.
@@ -911,10 +1000,15 @@ func (m *Manager) Compact() error {
 	m.mu.Lock()
 	recs := m.snapshotLocked()
 	m.mu.Unlock()
+	_, cspan := m.opts.Tracer.StartRoot(context.Background(), "store.compact", obs.SpanContext{})
+	cspan.SetInt("records", int64(len(recs)))
 	compactStart := time.Now()
 	if err := comp.Compact(recs); err != nil {
+		cspan.Fail(err)
+		cspan.End()
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	cspan.End()
 	m.opts.Metrics.observeCompact(time.Since(compactStart))
 	m.dirty.Store(0)
 	m.mu.Lock()
@@ -948,7 +1042,7 @@ func (m *Manager) snapshotLocked() []StoreRecord {
 			recs = append(recs, StoreRecord{
 				Type: recordStatus, ID: j.id, Time: j.finishedAt,
 				Status: j.status, Error: j.err, Progress: &prog, Result: j.result,
-				ResultBytes: j.resultBytes,
+				ResultBytes: j.resultBytes, TraceID: j.traceID, Spans: j.spans,
 			})
 		case j.status == StatusRunning:
 			// Replays as queued with progress reset — the same

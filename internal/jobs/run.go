@@ -32,6 +32,9 @@ func (m *Manager) run(ctx context.Context, j *job) (*Result, error) {
 	// concurrent per-system engines.
 	if cap := m.opts.TraceCap; cap > 0 && (j.spec.Kind == KindOptimize || j.spec.Kind == KindCampaign) {
 		ring := obs.NewTraceRing(cap)
+		if x := m.opts.Metrics; x != nil {
+			ring.OnDrop(x.observeTraceDropped)
+		}
 		m.mu.Lock()
 		j.trace = ring
 		m.mu.Unlock()

@@ -72,6 +72,12 @@ type StoreRecord struct {
 	// every retained result; absent on records written before the
 	// field existed (replay falls back to measuring).
 	ResultBytes int64 `json:"result_bytes,omitempty"`
+	// TraceID/Spans persist the job's trace linkage and lifecycle
+	// span summaries with its terminal transition, so span-level
+	// timing survives manager restarts even though the in-memory
+	// span store does not.
+	TraceID string        `json:"trace_id,omitempty"`
+	Spans   []SpanSummary `json:"spans,omitempty"`
 }
 
 const (

@@ -18,6 +18,19 @@ import (
 // preceded by its # HELP and # TYPE lines, histograms expanded into
 // cumulative _bucket{le=...} series plus _sum and _count.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the OpenMetrics 1.0 flavour of the same
+// body: counter family names lose their `_total` suffix in the HELP
+// and TYPE lines (the samples keep it, as the format requires),
+// histogram bucket samples carry their latest exemplar as
+// `# {trace_id="..."} value ts`, and the body ends with `# EOF`.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, om bool) error {
 	// Snapshot families AND their series maps under the read lock:
 	// lookup inserts series under the write lock at request time (e.g.
 	// the first 404 on a route), so iterating f.series unlocked would
@@ -43,10 +56,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
-		writeHeader(bw, f.fam)
+		writeHeader(bw, f.fam, om)
 		for _, s := range f.series {
 			if s.hist != nil {
-				writeHistogram(bw, f.fam.name, s)
+				writeHistogram(bw, f.fam.name, s, om)
 				continue
 			}
 			writeName(bw, f.fam.name, s.labels, "", "")
@@ -55,16 +68,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 			bw.WriteByte('\n')
 		}
 	}
+	if om {
+		bw.WriteString("# EOF\n")
+	}
 	return bw.Flush()
 }
 
-func writeHeader(w *bufio.Writer, f *family) {
+func writeHeader(w *bufio.Writer, f *family, om bool) {
+	// OpenMetrics reserves the _total suffix for counter samples: the
+	// family itself is announced without it.
+	name := f.name
+	if om && f.typ == typeCounter {
+		name = strings.TrimSuffix(name, "_total")
+	}
 	w.WriteString("# HELP ")
-	w.WriteString(f.name)
+	w.WriteString(name)
 	w.WriteByte(' ')
 	w.WriteString(escapeHelp(f.help))
 	w.WriteString("\n# TYPE ")
-	w.WriteString(f.name)
+	w.WriteString(name)
 	w.WriteByte(' ')
 	w.WriteString(f.typ)
 	w.WriteByte('\n')
@@ -99,17 +121,23 @@ func writeName(w *bufio.Writer, name string, labels []string, extraKey, extraVal
 	w.WriteByte('}')
 }
 
-func writeHistogram(w *bufio.Writer, name string, s *series) {
+func writeHistogram(w *bufio.Writer, name string, s *series, om bool) {
 	cum, count, sum := s.hist.snapshot()
 	for i, bound := range s.hist.bounds {
 		writeName(w, name+"_bucket", s.labels, "le", formatFloat(bound))
 		w.WriteByte(' ')
 		w.WriteString(strconv.FormatUint(cum[i], 10))
+		if om {
+			writeExemplar(w, s.hist.exemplars[i].Load())
+		}
 		w.WriteByte('\n')
 	}
 	writeName(w, name+"_bucket", s.labels, "le", "+Inf")
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatUint(cum[len(cum)-1], 10))
+	if om {
+		writeExemplar(w, s.hist.exemplars[len(cum)-1].Load())
+	}
 	w.WriteByte('\n')
 	writeName(w, name+"_sum", s.labels, "", "")
 	w.WriteByte(' ')
@@ -119,6 +147,20 @@ func writeHistogram(w *bufio.Writer, name string, s *series) {
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatUint(count, 10))
 	w.WriteByte('\n')
+}
+
+// writeExemplar appends an OpenMetrics exemplar to a bucket sample:
+// ` # {trace_id="..."} value timestamp`.
+func writeExemplar(w *bufio.Writer, ex *Exemplar) {
+	if ex == nil {
+		return
+	}
+	w.WriteString(` # {trace_id="`)
+	w.WriteString(escapeLabel(ex.TraceID))
+	w.WriteString(`"} `)
+	w.WriteString(formatFloat(ex.Value))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
 }
 
 // formatFloat renders a sample value; Prometheus spells infinities
@@ -177,14 +219,22 @@ func escapeHelp(v string) string {
 	return b.String()
 }
 
-// ServeHTTP makes a Registry mountable as the /metrics endpoint.
+// ServeHTTP makes a Registry mountable as the /metrics endpoint. A
+// scrape accepting application/openmetrics-text gets the OpenMetrics
+// rendering (with histogram exemplars); everything else gets the
+// classic text format, which cannot carry exemplars.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	h := w.Header()
-	h.Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	om := strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
+	if om {
+		h.Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		h.Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	h.Set("Cache-Control", "no-store")
 	// Errors past this point are client disconnects; the scrape body
 	// cannot be repaired once streaming has started.
-	_ = r.WriteText(w)
+	_ = r.writeExposition(w, om)
 }
 
 // memStatsWindow bounds how often a scrape may trigger a (briefly

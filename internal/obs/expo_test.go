@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -199,5 +200,66 @@ func TestServeHTTP(t *testing.T) {
 		if _, ok := types[name]; !ok {
 			t.Fatalf("metric %q missing from scrape", name)
 		}
+	}
+}
+
+// TestOpenMetricsExposition pins the OpenMetrics flavour: counter
+// families announced without the _total suffix, histogram exemplars on
+// bucket lines, and the # EOF trailer — while the classic rendering
+// stays exemplar-free.
+func TestOpenMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_ops_total", "Ops.").Inc()
+	h := r.Histogram("demo_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "0af7651916cd43dd8448eb211c80319c")
+	h.Observe(0.5) // no exemplar for this bucket
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	for _, want := range []string{
+		"# HELP demo_ops Ops.\n",
+		"# TYPE demo_ops counter\n",
+		"demo_ops_total 1\n",
+		`demo_seconds_bucket{le="0.1"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05 `,
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("OpenMetrics output does not end with # EOF")
+	}
+
+	var classic bytes.Buffer
+	if err := r.WriteText(&classic); err != nil {
+		t.Fatal(err)
+	}
+	cl := classic.String()
+	if strings.Contains(cl, "trace_id") || strings.Contains(cl, "# EOF") {
+		t.Errorf("classic output leaked OpenMetrics syntax:\n%s", cl)
+	}
+	if !strings.Contains(cl, "# TYPE demo_ops_total counter\n") {
+		t.Errorf("classic output renamed the counter family:\n%s", cl)
+	}
+
+	// Content negotiation on the HTTP handler.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q, want openmetrics", ct)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "# EOF\n") {
+		t.Error("negotiated OpenMetrics body lacks # EOF")
+	}
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default Content-Type = %q, want text/plain", ct)
 	}
 }

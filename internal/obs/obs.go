@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metric families are typed; the type names match the Prometheus
@@ -96,6 +97,18 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
 	count  atomic.Uint64
+	// exemplars[i] is the most recent exemplar landing in bucket i
+	// (same indexing as counts); only the OpenMetrics rendering
+	// exposes them.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the trace it belongs
+// to, so a latency bucket in a scrape points at a concrete trace.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // Observe records one value.
@@ -105,6 +118,19 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	addFloat(&h.sum, v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// keeps it as the bucket's exemplar (last write wins; the OpenMetrics
+// scrape renders it as `# {trace_id="..."} value ts`).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
 }
 
 // Count returns the number of observations.
@@ -245,6 +271,7 @@ func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []st
 			panic(fmt.Sprintf("obs: metric %q: histogram buckets not sorted", name))
 		}
 		h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(h.bounds)+1)
 		s.hist = h
 	}
 	f.series[sig] = s

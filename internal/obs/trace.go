@@ -43,10 +43,11 @@ type TraceSnapshot struct {
 // most recent cap events and counts everything ever recorded. One ring
 // per job bounds trace memory no matter how long an optimiser runs.
 type TraceRing struct {
-	mu    sync.Mutex
-	buf   []TraceEvent
-	next  int // index the next event lands in once the ring is full
-	total uint64
+	mu     sync.Mutex
+	buf    []TraceEvent
+	next   int // index the next event lands in once the ring is full
+	total  uint64
+	onDrop func()
 }
 
 // NewTraceRing returns a ring retaining the last cap events; cap must
@@ -58,18 +59,33 @@ func NewTraceRing(cap int) *TraceRing {
 	return &TraceRing{buf: make([]TraceEvent, 0, cap)}
 }
 
+// OnDrop installs a hook called once per evicted event (outside the
+// ring lock); flexray-serve wires it to the
+// flexray_job_trace_dropped_total counter so ring exhaustion shows up
+// in scrapes, not only in per-job trace reads.
+func (r *TraceRing) OnDrop(fn func()) {
+	r.mu.Lock()
+	r.onDrop = fn
+	r.mu.Unlock()
+}
+
 // Record appends an event, evicting the oldest once full. The method
 // value ring.Record satisfies TraceFunc.
 func (r *TraceRing) Record(ev TraceEvent) {
 	r.mu.Lock()
+	var dropped func()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 	} else {
 		r.buf[r.next] = ev
 		r.next = (r.next + 1) % cap(r.buf)
+		dropped = r.onDrop
 	}
 	r.total++
 	r.mu.Unlock()
+	if dropped != nil {
+		dropped()
+	}
 }
 
 // Snapshot copies the retained events in emission order.

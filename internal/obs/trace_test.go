@@ -73,3 +73,18 @@ func TestTraceRingInvalidCap(t *testing.T) {
 	}()
 	NewTraceRing(0)
 }
+
+func TestTraceRingOnDrop(t *testing.T) {
+	r := NewTraceRing(4)
+	drops := 0
+	r.OnDrop(func() { drops++ })
+	for i := 0; i < 10; i++ {
+		r.Record(TraceEvent{Iteration: i})
+	}
+	if drops != 6 {
+		t.Fatalf("drop hook fired %d times, want 6 (10 events, cap 4)", drops)
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+}

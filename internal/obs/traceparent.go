@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/hex"
+	"errors"
+	"strings"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/)
+// traceparent handling: version "00" headers are parsed strictly;
+// headers with a higher version are accepted when their first four
+// fields are well-formed (forward compatibility, as the spec
+// requires). All hex is lowercase on the wire.
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "traceparent"
+
+var (
+	errTraceparentFields  = errors.New("obs: traceparent: want version-traceid-spanid-flags")
+	errTraceparentVersion = errors.New("obs: traceparent: malformed version")
+	errTraceparentTrace   = errors.New("obs: traceparent: malformed trace-id")
+	errTraceparentSpan    = errors.New("obs: traceparent: malformed parent-id")
+	errTraceparentFlags   = errors.New("obs: traceparent: malformed trace-flags")
+)
+
+// FormatTraceparent renders sc as a version-00 traceparent value.
+// An invalid context renders as "" (nothing to propagate).
+func FormatTraceparent(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(sc.TraceID.String())
+	b.WriteByte('-')
+	b.WriteString(sc.SpanID.String())
+	if sc.Sampled {
+		b.WriteString("-01")
+	} else {
+		b.WriteString("-00")
+	}
+	return b.String()
+}
+
+// Traceparent returns the traceparent value for the span carried by
+// s (the inject helper used when handing work across a process
+// boundary); "" when s is nil.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.sc)
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent extracts a SpanContext from a traceparent header
+// value. The zero SpanContext plus an error is returned for
+// malformed input (callers then start a fresh trace).
+func ParseTraceparent(v string) (SpanContext, error) {
+	v = strings.TrimSpace(v)
+	parts := strings.Split(v, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, errTraceparentFields
+	}
+	ver := parts[0]
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return SpanContext{}, errTraceparentVersion
+	}
+	if ver == "00" && len(parts) != 4 {
+		// Version 00 defines exactly four fields; trailing data is
+		// only legal for future versions.
+		return SpanContext{}, errTraceparentFields
+	}
+	var sc SpanContext
+	if len(parts[1]) != 32 || !isLowerHex(parts[1]) {
+		return SpanContext{}, errTraceparentTrace
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, errTraceparentTrace
+	}
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, errTraceparentTrace
+	}
+	if len(parts[2]) != 16 || !isLowerHex(parts[2]) {
+		return SpanContext{}, errTraceparentSpan
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, errTraceparentSpan
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, errTraceparentSpan
+	}
+	flags := parts[3]
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return SpanContext{}, errTraceparentFlags
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(flags)); err != nil {
+		return SpanContext{}, errTraceparentFlags
+	}
+	sc.Sampled = fb[0]&0x01 != 0
+	return sc, nil
+}
+
+// ParseTraceID decodes a 32-digit hex trace ID (as found in log
+// lines, exemplars and API paths).
+func ParseTraceID(v string) (TraceID, error) {
+	var id TraceID
+	if len(v) != 32 || !isLowerHex(v) {
+		return TraceID{}, errTraceparentTrace
+	}
+	if _, err := hex.Decode(id[:], []byte(v)); err != nil {
+		return TraceID{}, errTraceparentTrace
+	}
+	if id.IsZero() {
+		return TraceID{}, errTraceparentTrace
+	}
+	return id, nil
+}

@@ -28,10 +28,12 @@
 package perfreg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -187,6 +189,20 @@ func Measure(sc *Scenario, cfg MeasureConfig) (ScenarioResult, error) {
 		defer cleanup()
 	}
 
+	// The scenario name rides on the profiler labels for the whole
+	// measured window (ops and the goroutines they spawn inherit it),
+	// so a -cpuprofile of a perf run — the PGO regeneration path —
+	// attributes every sample to its scenario.
+	var res ScenarioResult
+	pprof.Do(context.Background(), pprof.Labels("scenario", s.Name), func(context.Context) {
+		res, err = measure(s, cfg, op)
+	})
+	return res, err
+}
+
+// measure is the body of Measure: warm-up, calibration, timed samples,
+// allocation pass.
+func measure(s Scenario, cfg MeasureConfig, op func() error) (ScenarioResult, error) {
 	// Warm-up: at least one op, then until the warm-up budget is
 	// spent. This pays one-time costs (cold caches, pool fills, page
 	// faults) outside the measured window.

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/flexray"
 	"repro/internal/jobs"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/synth"
 )
@@ -178,6 +181,22 @@ func Suite() []*Scenario {
 			Setup:       jobsPipelineSetup,
 		},
 		{
+			Name:        "serve/traced-request",
+			Description: "fully sampled HTTP request round-trip: traceparent parse, root+child span, span-store record, exemplar observe",
+			Unit:        "req",
+			Serial:      true,
+			// Warm past the span store's steady state (the bounded
+			// store starts evicting a trace per request) so the
+			// measured ops see the long-lived allocation profile.
+			AllocWarmup: 64,
+			AllocOps:    128,
+			// The store's FIFO eviction queue compacts periodically, so
+			// a few allocations amortise across ops.
+			AllocTolPct: 10,
+			BytesTolPct: 25,
+			Setup:       tracedRequestSetup,
+		},
+		{
 			Name:        "fig7/sweep",
 			Description: "Fig. 7 response-time-vs-DYN-length regeneration (9 points, engine-parallel)",
 			Unit:        "point",
@@ -327,6 +346,51 @@ func jobsPipelineSetup() (func() error, func(), error) {
 		mgr.Close(ctx)
 	}
 	return op, cleanup, nil
+}
+
+// tracedRequestSetup measures the cost a fully sampled trace adds to
+// one request: the same span pipeline flexray-serve's middleware runs
+// (traceparent parse, root span, one child, store record, histogram
+// exemplar), driven through an http.ServeMux with a recorder so no
+// network noise enters the count. The store is bounded small enough
+// that steady state — one trace evicted per request — is reached
+// within the allocation warmup.
+func tracedRequestSetup() (func() error, func(), error) {
+	reg := obs.NewRegistry()
+	store := obs.NewSpanStore(obs.SpanStoreOptions{MaxSpans: 256, MaxSpansPerTrace: 16})
+	tracer := obs.NewTracer(obs.TracerOptions{Store: store, SampleRatio: 1})
+	hist := reg.Histogram("flexray_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route.", obs.DefBuckets, "route", "/v1/ping")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		ctx, span := tracer.StartRoot(r.Context(), "http GET /v1/ping", parent)
+		span.SetString("http.route", "/v1/ping")
+		_, child := obs.StartSpan(ctx, "work")
+		child.SetInt("items", 1)
+		child.End()
+		w.Header().Set("X-Trace-Id", span.TraceID())
+		w.WriteHeader(http.StatusOK)
+		span.SetInt("http.status", http.StatusOK)
+		span.End()
+		hist.ObserveExemplar(0.001, span.TraceID())
+	})
+	i := 0
+	op := func() error {
+		i++
+		req := httptest.NewRequest(http.MethodGet, "/v1/ping", nil)
+		req.Header.Set(obs.TraceparentHeader, fmt.Sprintf("00-%032x-%016x-01", i, i))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("traced request: %d", rec.Code)
+		}
+		if rec.Header().Get("X-Trace-Id") == "" {
+			return errors.New("traced request carried no X-Trace-Id")
+		}
+		return nil
+	}
+	return op, nil, nil
 }
 
 func fig7Setup() (func() error, func(), error) {
