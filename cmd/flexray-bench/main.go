@@ -77,6 +77,7 @@ type benchOptions struct {
 	full       bool
 	cpuprofile string
 	submit     string
+	distribute bool
 }
 
 // registerBenchFlags declares the global flag set on fs and returns
@@ -88,6 +89,7 @@ func registerBenchFlags(fs *flag.FlagSet) *benchOptions {
 	fs.BoolVar(&o.full, "full", false, "paper-scale Fig. 9 population (25 apps per node count)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
 	fs.StringVar(&o.submit, "submit", "", "submit the campaign to a running flexray-serve at this base URL instead of executing locally")
+	fs.BoolVar(&o.distribute, "distribute", false, "with -submit: shard the campaign across the server's lease worker peers")
 	return o
 }
 
@@ -113,10 +115,14 @@ var commands = []command{
 	{"fig9", "heuristic evaluation (Fig. 9, both panels)",
 		func(o *benchOptions, _ invocation, _, _ io.Writer) int { fig9(o.full); return 0 }},
 	{"campaign", "population sweep streamed as JSONL (local or -submit)",
-		func(o *benchOptions, _ invocation, _, _ io.Writer) int {
+		func(o *benchOptions, _ invocation, _, stderr io.Writer) int {
 			if o.submit != "" {
-				submitCampaign(o.submit, o.full)
+				submitCampaign(o.submit, o.full, o.distribute)
 			} else {
+				if o.distribute {
+					fmt.Fprintln(stderr, "flexray-bench: -distribute needs -submit (the shards run on the server's worker peers)")
+					return 2
+				}
 				campaignJSONL(o.full)
 			}
 			return 0
@@ -449,7 +455,7 @@ func campaignJSONL(full bool) {
 // flexray-serve as an async job, tails its progress on stderr, and
 // prints the finished records to stdout as JSONL — the same output
 // shape as the local path, produced remotely.
-func submitCampaign(base string, full bool) {
+func submitCampaign(base string, full, distribute bool) {
 	p := experiments.QuickFig9Params()
 	if full {
 		p = experiments.DefaultFig9Params()
@@ -459,6 +465,10 @@ func submitCampaign(base string, full bool) {
 		Kind:          jobs.KindCampaign,
 		SAWarmFromOBC: true,
 		Tuning:        jobs.TuningFromOptions(p.Opts),
+		// Distribute shards the job across the server's lease worker
+		// peers (-peer fleets); the merged result is bit-identical to
+		// the server running it alone.
+		Distribute: distribute,
 		Population: &jobs.Population{
 			NodeCounts:     p.NodeCounts,
 			AppsPerCount:   p.AppsPerSet,

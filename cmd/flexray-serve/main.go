@@ -11,7 +11,9 @@
 //	              [-retain-jobs N] [-retain-age D] [-retain-bytes N]
 //	              [-compact-interval D] [-trace-sample R] [-trace-slow D]
 //	              [-trace-spans N] [-trace-detail run|phase]
-//	              [-log-format text|json] [-version]
+//	              [-lease-ttl D] [-lease-systems N]
+//	              [-peer URL] [-peer-id ID] [-peer-poll D]
+//	              [-addr-file F] [-log-format text|json] [-version]
 //
 // Synchronous endpoints:
 //
@@ -35,6 +37,20 @@
 //	GET    /v1/jobs/{id}/trace  optimiser convergence trace of the job
 //	GET    /v1/jobs/{id}/spans  span summary + live span tree of the job
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//
+// Distributed campaigns (submit with "kind": "campaign",
+// "distribute": true; see OPERATIONS.md "Scale-out"): the job is split
+// into shard leases that worker peers pull, execute and report back.
+// Any flexray-serve started with -peer pointing at this server joins
+// as a worker; lease TTL and shard size are coordinator-side knobs
+// (-lease-ttl, -lease-systems). Results are bit-identical to a
+// single-process run — a dead worker's lease expires and its shard is
+// re-queued deterministically.
+//
+//	POST /v1/leases/claim           worker pulls a shard lease (204 = no work)
+//	POST /v1/leases/{id}/renew      heartbeat a held lease
+//	POST /v1/leases/{id}/complete   report shard records or failure
+//	GET  /v1/leases                 lease table snapshot (shards + workers)
 //
 // Span tracing (off by default, zero-cost while off): -trace-sample
 // head-samples requests into span trees spanning the HTTP middleware,
@@ -81,6 +97,7 @@ import (
 	"fmt"
 	"log/slog"
 	"mime"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -126,6 +143,12 @@ type serveOptions struct {
 	traceSlow       time.Duration
 	traceSpans      int
 	traceDetail     string
+	leaseTTL        time.Duration
+	leaseSystems    int
+	peer            string
+	peerID          string
+	peerPoll        time.Duration
+	addrFile        string
 	version         bool
 }
 
@@ -151,23 +174,37 @@ func registerFlags(fs *flag.FlagSet) *serveOptions {
 	fs.DurationVar(&o.traceSlow, "trace-slow", 0, "always record traces slower than this even when unsampled (0 = off)")
 	fs.IntVar(&o.traceSpans, "trace-spans", 65536, "spans retained in memory across all traces (oldest traces evicted first)")
 	fs.StringVar(&o.traceDetail, "trace-detail", "run", "span granularity: run (one span per optimiser) or phase (optimiser-internal phases too)")
+	fs.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "distributed shard lease TTL; a worker silent this long forfeits its shard")
+	fs.IntVar(&o.leaseSystems, "lease-systems", 4, "systems per distributed shard lease (campaign jobs may override per spec)")
+	fs.StringVar(&o.peer, "peer", "", "coordinator base URL; set to join it as a lease worker peer")
+	fs.StringVar(&o.peerID, "peer-id", "", "worker identity reported to the coordinator (default hostname-pid)")
+	fs.DurationVar(&o.peerPoll, "peer-poll", 250*time.Millisecond, "idle wait between lease claim attempts in -peer mode")
+	fs.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once serving (for :0 addresses)")
 	fs.BoolVar(&o.version, "version", false, "print build information and exit")
 	return o
 }
 
-func main() {
-	o := registerFlags(flag.CommandLine)
-	flag.Parse()
+func main() { os.Exit(runServe(os.Args[1:])) }
+
+// runServe is the whole server lifecycle behind main, factored on an
+// explicit argument list and exit code so the multi-process e2e tests
+// can re-exec the test binary as a real coordinator or worker.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("flexray-serve", flag.ContinueOnError)
+	o := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if o.version {
 		b := readBuildInfo()
 		fmt.Printf("flexray-serve %s (revision %s, %s)\n", b.Version, b.Revision, b.Go)
-		return
+		return 0
 	}
 	logger, err := newLogger(o.logFormat)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flexray-serve: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	// writeJSON and the jobs manager's default Logf log through the
 	// default logger; route it to the selected handler too.
@@ -175,12 +212,12 @@ func main() {
 
 	var store jobs.Store
 	if o.store != "" {
-		fs, err := jobs.NewFileStore(o.store)
+		f, err := jobs.NewFileStore(o.store)
 		if err != nil {
 			logger.Error("opening job store", "store", o.store, "error", err)
-			os.Exit(1)
+			return 1
 		}
-		store = fs
+		store = f
 	}
 	s, err := newServer(serverConfig{
 		Workers:       o.workers,
@@ -197,6 +234,8 @@ func main() {
 			MaxResultBytes: o.retainBytes,
 		},
 		JobCompactInterval: o.compactInterval,
+		LeaseTTL:           o.leaseTTL,
+		LeaseSystems:       o.leaseSystems,
 		Logger:             logger,
 		TraceSample:        o.traceSample,
 		TraceSlow:          o.traceSlow,
@@ -205,10 +244,24 @@ func main() {
 	})
 	if err != nil {
 		logger.Error("startup", "error", err)
-		os.Exit(1)
+		return 1
+	}
+	// Explicit listen (rather than ListenAndServe) so -addr-file can
+	// publish the resolved port of a ":0" address before any client
+	// could race the first request.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		logger.Error("listening", "addr", o.addr, "error", err)
+		return 1
+	}
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			logger.Error("writing addr-file", "path", o.addrFile, "error", err)
+			ln.Close()
+			return 1
+		}
 	}
 	srv := &http.Server{
-		Addr:              o.addr,
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -216,24 +269,63 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	logger.Info("listening",
-		"addr", o.addr,
+		"addr", ln.Addr().String(),
 		"workers", effectiveWorkers(o.workers),
 		"max_concurrent", o.maxConc,
 		"version", s.build.Version,
 		"revision", s.build.Revision)
 
+	// -peer turns this process into a lease worker on top of its own
+	// HTTP service: it pulls distributed-campaign shards from the
+	// coordinator until shutdown.
+	var (
+		workerDone chan struct{}
+		workerStop context.CancelFunc
+	)
+	if o.peer != "" {
+		var wctx context.Context
+		wctx, workerStop = context.WithCancel(context.Background())
+		defer workerStop()
+		worker := jobs.NewWorker(jobs.WorkerOptions{
+			ID:      o.peerID,
+			BaseURL: o.peer,
+			Poll:    o.peerPoll,
+			Workers: o.workers,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+			Tracer:  s.tracer,
+			Metrics: s.jobsMetrics,
+		})
+		workerDone = make(chan struct{})
+		go func() {
+			defer close(workerDone)
+			worker.Run(wctx)
+		}()
+		logger.Info("worker peer started", "coordinator", o.peer, "id", worker.ID())
+	}
+
 	select {
 	case err := <-errc:
 		logger.Error("serving", "error", err)
-		os.Exit(1)
+		return 1
 	case <-ctx.Done():
 	}
 	logger.Info("draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	// Checkpoint the job subsystem first: running jobs are cancelled
+	// Stop pulling new shards first; the worker's final completion
+	// report runs on its own short budget.
+	if workerDone != nil {
+		workerStop()
+		select {
+		case <-workerDone:
+		case <-shutCtx.Done():
+		}
+	}
+	// Checkpoint the job subsystem next: running jobs are cancelled
 	// and written back to the store as queued (a restart resumes
 	// them), and the long-lived SSE event streams end — srv.Shutdown
 	// would otherwise wait out its whole grace period on them.
@@ -243,6 +335,7 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logger.Error("shutdown", "error", err)
 	}
+	return 0
 }
 
 func effectiveWorkers(w int) int {
@@ -273,6 +366,11 @@ type serverConfig struct {
 	// JobCompactInterval triggers periodic store compaction
 	// (-compact-interval); graceful shutdown always compacts.
 	JobCompactInterval time.Duration
+	// LeaseTTL/LeaseSystems tune distributed campaign sharding
+	// (-lease-ttl, -lease-systems); zero values take the manager
+	// defaults.
+	LeaseTTL     time.Duration
+	LeaseSystems int
 	// Logger receives the request and operational logs; nil uses
 	// slog.Default().
 	Logger *slog.Logger
@@ -294,6 +392,9 @@ type server struct {
 	heavy   chan struct{} // admission semaphore for optimise/analyse/simulate
 	started time.Time
 	jobs    *jobs.Manager
+	// jobsMetrics is the instrument set shared by the manager and (in
+	// -peer mode) the lease worker's flexray_worker_* counters.
+	jobsMetrics *jobs.Metrics
 	// engine counts the synchronous endpoints' evaluations; healthz
 	// adds the job manager's totals on top.
 	engine campaign.EngineCounters
@@ -338,13 +439,16 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err := s.initTracing(); err != nil {
 		return nil, err
 	}
+	s.jobsMetrics = jobs.NewMetrics(s.reg)
 	mgr, err := jobs.NewManager(cfg.JobStore, jobs.ManagerOptions{
 		Workers:         cfg.JobWorkers,
 		QueueCap:        cfg.JobQueueCap,
 		EvalWorkers:     effectiveWorkers(cfg.Workers),
 		Retention:       cfg.JobRetention,
 		CompactInterval: cfg.JobCompactInterval,
-		Metrics:         jobs.NewMetrics(s.reg),
+		LeaseTTL:        cfg.LeaseTTL,
+		LeaseSystems:    cfg.LeaseSystems,
+		Metrics:         s.jobsMetrics,
 		Tracer:          s.tracer,
 		Logf: func(format string, args ...any) {
 			cfg.Logger.Info(fmt.Sprintf(format, args...))
@@ -372,6 +476,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	// The event stream is long-lived by design: no request timeout.
 	s.route("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	// Lease endpoints (distributed campaign shards); the shared guard
+	// gives them the same content-type/size/time limits as the other
+	// POST endpoints.
+	leases := jobs.NewLeaseAPI(mgr)
+	s.route("POST /v1/leases/claim", s.guard(leases.HandleClaim))
+	s.route("POST /v1/leases/{id}/renew", s.guard(leases.HandleRenew))
+	s.route("POST /v1/leases/{id}/complete", s.guard(leases.HandleComplete))
+	s.route("GET /v1/leases", leases.HandleList)
 	if cfg.Pprof {
 		// Mounted on the server's own mux (we never serve
 		// http.DefaultServeMux, so the net/http/pprof side-effect

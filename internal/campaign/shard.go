@@ -1,0 +1,63 @@
+package campaign
+
+// Campaign sharding. A distributed campaign splits its population into
+// contiguous index ranges; each shard is optimised independently (by a
+// remote worker) and the per-shard record slices are merged back into
+// the single stream a serial run would have produced. Both halves are
+// deterministic: the split depends only on the population size and the
+// shard size, and the merge orders records by their global Index — so
+// a distributed run is bit-identical to a serial one regardless of how
+// many workers executed it or in which order shards completed.
+
+import "sort"
+
+// ShardRange is one contiguous slice [Lo, Hi) of a campaign's
+// population index space.
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len is the number of systems in the shard.
+func (r ShardRange) Len() int { return r.Hi - r.Lo }
+
+// ShardRanges splits a population of total systems into contiguous
+// ranges of at most size systems each. size <= 0 collapses to one
+// shard; total <= 0 yields none. The split is a pure function of its
+// arguments, so coordinator restarts recompute identical shards and
+// replayed per-shard results still line up.
+func ShardRanges(total, size int) []ShardRange {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 || size > total {
+		size = total
+	}
+	ranges := make([]ShardRange, 0, (total+size-1)/size)
+	for lo := 0; lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		ranges = append(ranges, ShardRange{Lo: lo, Hi: hi})
+	}
+	return ranges
+}
+
+// MergeShardRecords flattens per-shard record slices back into the
+// order a serial campaign emits: ascending global Index. Shard
+// completion order is whatever the worker fleet produced, so the merge
+// sorts rather than trusting the input order; the sort is stable and
+// records carry distinct indices, making the output deterministic.
+func MergeShardRecords(shards [][]Record) []Record {
+	n := 0
+	for _, s := range shards {
+		n += len(s)
+	}
+	merged := make([]Record, 0, n)
+	for _, s := range shards {
+		merged = append(merged, s...)
+	}
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].Index < merged[b].Index })
+	return merged
+}

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardRanges: the split is contiguous, covers [0, total) exactly,
+// and degenerate sizes collapse sanely.
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		total, size int
+		want        []ShardRange
+	}{
+		{0, 4, nil},
+		{-3, 4, nil},
+		{5, 0, []ShardRange{{0, 5}}},
+		{5, -1, []ShardRange{{0, 5}}},
+		{5, 10, []ShardRange{{0, 5}}},
+		{6, 2, []ShardRange{{0, 2}, {2, 4}, {4, 6}}},
+		{7, 3, []ShardRange{{0, 3}, {3, 6}, {6, 7}}},
+		{1, 1, []ShardRange{{0, 1}}},
+	}
+	for _, c := range cases {
+		got := ShardRanges(c.total, c.size)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ShardRanges(%d, %d) = %v, want %v", c.total, c.size, got, c.want)
+		}
+	}
+}
+
+// TestShardRangesCover: for a grid of populations and shard sizes, the
+// ranges partition the index space with no gaps or overlaps.
+func TestShardRangesCover(t *testing.T) {
+	for total := 1; total <= 17; total++ {
+		for size := 1; size <= total+2; size++ {
+			next := 0
+			for _, r := range ShardRanges(total, size) {
+				if r.Lo != next {
+					t.Fatalf("total=%d size=%d: shard starts at %d, want %d", total, size, r.Lo, next)
+				}
+				if r.Len() <= 0 || r.Len() > size {
+					t.Fatalf("total=%d size=%d: shard [%d,%d) has bad length", total, size, r.Lo, r.Hi)
+				}
+				next = r.Hi
+			}
+			if next != total {
+				t.Fatalf("total=%d size=%d: ranges end at %d", total, size, next)
+			}
+		}
+	}
+}
+
+// TestMergeShardRecords: any completion order merges back to ascending
+// global index.
+func TestMergeShardRecords(t *testing.T) {
+	rec := func(idx int) Record { return Record{Index: idx, Name: "sys"} }
+	shards := [][]Record{
+		{rec(4), rec(5)},
+		{rec(0), rec(1)},
+		nil,
+		{rec(2), rec(3)},
+	}
+	merged := MergeShardRecords(shards)
+	if len(merged) != 6 {
+		t.Fatalf("merged %d records, want 6", len(merged))
+	}
+	for i, r := range merged {
+		if r.Index != i {
+			t.Errorf("merged[%d].Index = %d", i, r.Index)
+		}
+	}
+	if got := MergeShardRecords(nil); len(got) != 0 {
+		t.Errorf("merging no shards yields %d records", len(got))
+	}
+}

@@ -177,6 +177,13 @@ type Spec struct {
 	// specs are stored verbatim, even a manager restart. Empty when
 	// the submitter was not traced.
 	TraceParent string `json:"trace_parent,omitempty"`
+	// Distribute runs a campaign as durable shard leases pulled by
+	// worker peers over /v1/leases instead of in-process (campaign
+	// only). Results are bit-identical to a local run; see lease.go.
+	Distribute bool `json:"distribute,omitempty"`
+	// ShardSystems overrides the manager's systems-per-shard split for
+	// a distributed campaign; <= 0 keeps the manager default.
+	ShardSystems int `json:"shard_systems,omitempty"`
 }
 
 // compiled is a Spec parsed into runnable form. Compilation happens
@@ -268,6 +275,12 @@ func (s *Spec) compile() (*compiled, error) {
 		}
 	default:
 		return nil, fmt.Errorf("jobs: unknown job kind %q (want optimize, campaign or sweep)", s.Kind)
+	}
+	if s.Distribute && s.Kind != KindCampaign {
+		return nil, errors.New("jobs: distribute applies to campaign jobs only")
+	}
+	if s.ShardSystems < 0 {
+		return nil, errors.New("jobs: shard_systems must be >= 0")
 	}
 	return c, nil
 }
@@ -386,4 +399,19 @@ var (
 	// well-formed but could not be persisted (a server fault, not a
 	// client error).
 	ErrStore = errors.New("jobs: store failure")
+	// ErrLeaseNotFound marks a lease ID the manager never granted (or
+	// granted so long ago the retired-lease memory dropped it).
+	ErrLeaseNotFound = errors.New("jobs: no such lease")
+	// ErrLeaseStale marks a lease that is no longer held: it expired,
+	// was superseded by a re-grant, or its shard already completed.
+	// The shard's job is still live; the worker should drop the shard
+	// and claim fresh work (HTTP 409).
+	ErrLeaseStale = errors.New("jobs: lease no longer held")
+	// ErrLeaseGone marks a lease retired together with its job — the
+	// job finished, failed, was cancelled or evicted; there is nothing
+	// left to report against (HTTP 410).
+	ErrLeaseGone = errors.New("jobs: lease retired with its job")
+	// ErrLeasePayload marks a shard completion whose record count does
+	// not match the leased range (a client error, HTTP 400).
+	ErrLeasePayload = errors.New("jobs: shard result does not match the lease")
 )

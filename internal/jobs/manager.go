@@ -66,6 +66,14 @@ type ManagerOptions struct {
 	// TraceParent continues the submitter's trace; otherwise each job
 	// starts its own. Nil disables job tracing at zero cost.
 	Tracer *obs.Tracer
+	// LeaseTTL is how long a granted shard lease of a distributed
+	// campaign survives without a renewal before its shard re-queues;
+	// <= 0 selects 30s. See lease.go.
+	LeaseTTL time.Duration
+	// LeaseSystems is the default systems-per-shard split of a
+	// distributed campaign (a spec's ShardSystems overrides it);
+	// <= 0 selects 4.
+	LeaseSystems int
 }
 
 // DefaultTraceCap is the per-job optimiser trace bound used when
@@ -87,6 +95,12 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	}
 	if o.TraceCap == 0 {
 		o.TraceCap = DefaultTraceCap
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.LeaseSystems <= 0 {
+		o.LeaseSystems = 4
 	}
 	return o
 }
@@ -233,6 +247,19 @@ type Manager struct {
 	compactions int64
 	lastCompact time.Time
 
+	// Distributed-campaign lease state (lease.go), all guarded by mu:
+	// running distributed jobs by job ID, granted leases by lease ID
+	// (plus the job owning each), recently seen worker peers, the
+	// bounded why-is-this-lease-dead memory, and completed shard
+	// results retained until their job goes terminal.
+	leaseJobs     map[string]*leaseJob
+	leaseIndex    map[string]*leaseShard
+	leaseOwner    map[string]*leaseJob
+	leaseWorkers  map[string]time.Time
+	leaseRetired  map[string]error
+	leaseRetiredQ []string
+	shardResults  map[string]map[int]shardResult
+
 	engine campaign.EngineCounters
 }
 
@@ -247,13 +274,19 @@ func NewManager(store Store, opts ManagerOptions) (*Manager, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		opts:    opts,
-		store:   store,
-		ctx:     ctx,
-		cancel:  cancel,
-		wake:    make(chan struct{}, opts.Workers),
-		jobs:    map[string]*job{},
-		evicted: map[string]struct{}{},
+		opts:         opts,
+		store:        store,
+		ctx:          ctx,
+		cancel:       cancel,
+		wake:         make(chan struct{}, opts.Workers),
+		jobs:         map[string]*job{},
+		evicted:      map[string]struct{}{},
+		leaseJobs:    map[string]*leaseJob{},
+		leaseIndex:   map[string]*leaseShard{},
+		leaseOwner:   map[string]*leaseJob{},
+		leaseWorkers: map[string]time.Time{},
+		leaseRetired: map[string]error{},
+		shardResults: map[string]map[int]shardResult{},
 	}
 	if err := m.replay(); err != nil {
 		cancel()
@@ -272,6 +305,8 @@ func NewManager(store Store, opts ManagerOptions) (*Manager, error) {
 		m.wg.Add(1)
 		go m.janitor(tick)
 	}
+	m.wg.Add(1)
+	go m.leaseJanitor()
 	m.signal(len(m.queue))
 	return m, nil
 }
@@ -385,7 +420,10 @@ func (m *Manager) replay() error {
 				return nil
 			}
 			delete(m.jobs, rec.ID)
+			delete(m.shardResults, rec.ID)
 			m.tombstoneLocked(rec.ID, rec.Time)
+		case recordLease:
+			m.replayLeaseLocked(rec)
 		}
 		return nil
 	})
@@ -404,6 +442,13 @@ func (m *Manager) replay() error {
 		if j.status.Terminal() {
 			m.engine.Add(j.progress.Engine)
 			m.resultBytes += j.resultBytes
+		}
+	}
+	// Shard results only matter to a job that will run (again); a
+	// terminal or unknown job never re-reads them.
+	for id := range m.shardResults {
+		if j := m.jobs[id]; j == nil || j.status.Terminal() {
+			delete(m.shardResults, id)
 		}
 	}
 	if replayed > 0 {
@@ -903,6 +948,10 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 	var runDur time.Duration
 	if terminal {
 		runDur = j.finishedAt.Sub(started)
+		// The terminal record carries the result; retained shard
+		// results would only duplicate it (a checkpointed job keeps
+		// them — the re-run adopts the finished shards).
+		delete(m.shardResults, j.id)
 	}
 	m.mu.Unlock()
 	appendName := "store.append"
@@ -1051,6 +1100,9 @@ func (m *Manager) snapshotLocked() []StoreRecord {
 				Type: recordStatus, ID: j.id, Time: j.startedAt, Status: StatusRunning,
 			})
 		}
+		// Completed shards of a live distributed job persist through
+		// compaction, so a restart re-runs only the missing ones.
+		recs = append(recs, m.leaseSnapshotLocked(j, time.Now())...)
 	}
 	return recs
 }

@@ -30,6 +30,14 @@ type Metrics struct {
 	appendErrs   *obs.Counter
 	compactTime  *obs.Histogram
 	traceDropped *obs.Counter
+
+	leaseGranted   map[bool]*obs.Counter // keyed by affinity routing
+	leaseCompleted *obs.Counter
+	leaseExpired   *obs.Counter
+	leaseFailed    *obs.Counter
+
+	workerShards    map[string]*obs.Counter // keyed by outcome
+	workerShardTime *obs.Histogram
 }
 
 // NewMetrics registers the jobs/store instrument families on r.
@@ -54,6 +62,25 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		"Store compaction (snapshot rewrite) duration.", obs.IOBuckets)
 	x.traceDropped = r.Counter("flexray_job_trace_dropped_total",
 		"Optimiser trace events evicted from per-job rings (ring exhaustion; raise TraceCap if it grows).")
+	x.leaseGranted = map[bool]*obs.Counter{
+		true: r.Counter("flexray_lease_granted_total",
+			"Distributed shard leases granted, by routing decision.", "route", "affinity"),
+		false: r.Counter("flexray_lease_granted_total",
+			"Distributed shard leases granted, by routing decision.", "route", "steal"),
+	}
+	x.leaseCompleted = r.Counter("flexray_lease_completed_total",
+		"Shard leases completed with durably recorded results.")
+	x.leaseExpired = r.Counter("flexray_lease_expired_total",
+		"Shard leases that outlived their TTL without completion; their shards re-queued.")
+	x.leaseFailed = r.Counter("flexray_lease_failed_total",
+		"Shard leases returned as failed by their worker; their shards re-queued.")
+	x.workerShards = map[string]*obs.Counter{}
+	for _, outcome := range []string{"done", "failed", "lost"} {
+		x.workerShards[outcome] = r.Counter("flexray_worker_shards_total",
+			"Shards this process executed as a worker peer, by outcome.", "outcome", outcome)
+	}
+	x.workerShardTime = r.Histogram("flexray_worker_shard_seconds",
+		"Worker-side shard execution time, claim to completion report.", runBuckets)
 	return x
 }
 
@@ -106,6 +133,15 @@ func (x *Metrics) bind(m *Manager) {
 			}
 			return -1
 		})
+	r.GaugeFunc("flexray_lease_pending",
+		"Distributed campaign shards waiting for a worker.",
+		func() float64 { p, _ := m.leaseCounts(); return float64(p) })
+	r.GaugeFunc("flexray_lease_active",
+		"Shard leases currently granted to workers.",
+		func() float64 { _, g := m.leaseCounts(); return float64(g) })
+	r.GaugeFunc("flexray_lease_workers",
+		"Worker peers seen within the last few lease TTLs.",
+		func() float64 { return float64(m.leaseWorkerCount()) })
 }
 
 // countStatus counts retained jobs in one lifecycle state.
@@ -169,4 +205,39 @@ func (x *Metrics) observeTraceDropped() {
 	if x != nil {
 		x.traceDropped.Inc()
 	}
+}
+
+func (x *Metrics) observeLeaseGranted(affinity bool) {
+	if x != nil {
+		x.leaseGranted[affinity].Inc()
+	}
+}
+
+func (x *Metrics) observeLeaseCompleted() {
+	if x != nil {
+		x.leaseCompleted.Inc()
+	}
+}
+
+func (x *Metrics) observeLeaseExpired() {
+	if x != nil {
+		x.leaseExpired.Inc()
+	}
+}
+
+func (x *Metrics) observeLeaseFailed() {
+	if x != nil {
+		x.leaseFailed.Inc()
+	}
+}
+
+// observeWorkerShard records one worker-side shard execution.
+func (x *Metrics) observeWorkerShard(outcome string, d time.Duration) {
+	if x == nil {
+		return
+	}
+	if c, ok := x.workerShards[outcome]; ok {
+		c.Inc()
+	}
+	x.workerShardTime.Observe(d.Seconds())
 }

@@ -52,6 +52,7 @@ type tombstone struct {
 // appends it outside the manager lock.
 func (m *Manager) evictLocked(j *job, now time.Time) StoreRecord {
 	delete(m.jobs, j.id)
+	delete(m.shardResults, j.id)
 	m.resultBytes -= j.resultBytes
 	m.evictions++
 	m.tombstoneLocked(j.id, now)

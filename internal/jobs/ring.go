@@ -1,0 +1,89 @@
+package jobs
+
+// Consistent-hash routing for shard claims. Worker IDs are projected
+// onto a hash ring via a handful of virtual points each; a shard's
+// routing key is owned by the first point clockwise from it. Adding or
+// removing one worker only moves the shards whose arcs that worker's
+// points bounded — everyone else keeps their warm eval caches — and
+// the assignment is a pure function of (worker set, key), so the
+// coordinator, its restarts and the tests all agree on placement.
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the number of virtual points per worker; enough to
+// even out small fleets without making ring construction measurable.
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+type hashRing struct {
+	points []ringPoint
+}
+
+// buildRing constructs the ring for a worker set. Order of the input
+// does not matter; the ring depends only on set membership.
+func buildRing(workers []string) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(workers)*ringReplicas)}
+	for _, w := range workers {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   fnv64(w, "#", strconv.Itoa(i)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Deterministic tie-break on the (astronomically unlikely)
+		// hash collision, so placement never depends on sort order.
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r
+}
+
+// owner returns the worker owning a key, or "" for an empty ring.
+func (r *hashRing) owner(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}
+
+// workerIDs extracts the key set of the worker registry.
+func workerIDs[V any](m map[string]V) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// fnv64 hashes the concatenation of its parts with FNV-1a.
+func fnv64(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	return h
+}

@@ -44,6 +44,9 @@ func (m *Manager) run(ctx context.Context, j *job) (*Result, error) {
 	case KindOptimize:
 		return m.runOptimize(ctx, j, c)
 	case KindCampaign:
+		if j.spec.Distribute {
+			return m.runDistributed(ctx, j, c)
+		}
 		return m.runCampaign(ctx, j, c)
 	case KindSweep:
 		return m.runSweep(ctx, j, c)

@@ -2,7 +2,7 @@ package jobs
 
 // Durable store model.
 //
-// A job store is an event log. Its JSONL grammar has three record
+// A job store is an event log. Its JSONL grammar has four record
 // types, one JSON object per line:
 //
 //	{"type":"submit","id":j,"time":t,"spec":{...}}
@@ -16,6 +16,13 @@ package jobs
 //	{"type":"evict","id":j,"time":t}
 //	    — the retention policy dropped a terminal job; its result is
 //	      gone for good and the ID answers 410 Gone, not 404.
+//	{"type":"lease","id":j,"time":t,"lease":{"event":e,...}}
+//	    — a distributed-campaign lease event for job j (see lease.go).
+//	      Only "complete" events matter to replay: they carry a
+//	      shard's records, so finished shards survive a coordinator
+//	      restart. "grant", "expire" and "fail" events are an audit
+//	      trail and are ignored on replay — a lease that was granted
+//	      but never completed simply re-queues with its job.
 //
 // Replay invariants (see Manager.replay):
 //
@@ -28,11 +35,18 @@ package jobs
 //     graceful shutdown would have checkpointed.
 //   - An evict record removes the job (if present) and leaves a
 //     tombstone, so eviction survives restarts.
+//   - The first lease "complete" per (job, shard) is sticky: later
+//     completes, duplicate grants or out-of-order expiry records
+//     never overwrite or resurrect a completed shard. Malformed
+//     lease payloads (negative shard, inverted range, record count
+//     not matching the range) are skipped, not fatal.
 //
 // Compaction rewrites the log to a snapshot of live state: one submit
 // record per live job (in submission order), a status record where the
-// job has progressed beyond queued, and one evict record per retained
-// tombstone. Replaying the snapshot reconstructs exactly the live
+// job has progressed beyond queued, one lease "complete" record per
+// finished shard of a non-terminal distributed job, and one evict
+// record per retained tombstone. Replaying the snapshot reconstructs
+// exactly the live
 // state, so the records appended after it — the tail — apply cleanly
 // on top; startup cost is proportional to live jobs plus the tail, not
 // to history. The rewrite is atomic (temp file, fsync, rename): a
@@ -55,9 +69,10 @@ import (
 // grammar at the top of this file. Submit records carry the full spec;
 // status records carry a lifecycle transition (terminal ones also the
 // final progress and, for done, the result); evict records carry only
-// the ID of the dropped job.
+// the ID of the dropped job; lease records carry one distributed-shard
+// lease event.
 type StoreRecord struct {
-	Type string    `json:"type"` // "submit" | "status" | "evict"
+	Type string    `json:"type"` // "submit" | "status" | "evict" | "lease"
 	ID   string    `json:"id"`
 	Time time.Time `json:"time"`
 	// submit:
@@ -78,12 +93,16 @@ type StoreRecord struct {
 	// span store does not.
 	TraceID string        `json:"trace_id,omitempty"`
 	Spans   []SpanSummary `json:"spans,omitempty"`
+	// Lease is the payload of a "lease" record: one distributed-shard
+	// lease event of the job (see lease.go).
+	Lease *LeaseEvent `json:"lease,omitempty"`
 }
 
 const (
 	recordSubmit = "submit"
 	recordStatus = "status"
 	recordEvict  = "evict"
+	recordLease  = "lease"
 )
 
 // Store persists job history for crash recovery. Append must be

@@ -261,7 +261,8 @@ func TestSuiteShape(t *testing.T) {
 	}
 	for _, want := range []string{
 		"eval/fresh", "eval/session", "campaign/serial", "campaign/parallel",
-		"jobs/pipeline", "fig7/sweep", "fig9/quick", "store/replay", "store/compact",
+		"jobs/pipeline", "jobs/distributed-drain", "fig7/sweep", "fig9/quick",
+		"store/replay", "store/compact",
 	} {
 		if !seen[want] {
 			t.Errorf("suite lost scenario %q", want)
@@ -306,5 +307,32 @@ func TestStoreScenarioOps(t *testing.T) {
 		if cleanup != nil {
 			cleanup()
 		}
+	}
+}
+
+// TestDistributedDrainScenarioOp runs the coordinator/worker scenario
+// op once — the loopback fleet must drain a distributed job to done.
+func TestDistributedDrainScenarioOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign over loopback HTTP")
+	}
+	var sc *Scenario
+	for _, s := range Suite() {
+		if s.Name == "jobs/distributed-drain" {
+			sc = s
+		}
+	}
+	if sc == nil {
+		t.Fatal("jobs/distributed-drain missing")
+	}
+	op, cleanup, err := sc.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op(); err != nil {
+		t.Errorf("distributed drain: %v", err)
+	}
+	if cleanup != nil {
+		cleanup()
 	}
 }

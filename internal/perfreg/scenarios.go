@@ -181,6 +181,15 @@ func Suite() []*Scenario {
 			Setup:       jobsPipelineSetup,
 		},
 		{
+			Name:        "jobs/distributed-drain",
+			Description: "distributed campaign submit→drain latency (coordinator + 2 loopback lease workers over HTTP)",
+			Unit:        "job",
+			TimeTolPct:  25,
+			AllocTolPct: NoGate,
+			BytesTolPct: NoGate,
+			Setup:       distributedDrainSetup,
+		},
+		{
 			Name:        "serve/traced-request",
 			Description: "fully sampled HTTP request round-trip: traceparent parse, root+child span, span-store record, exemplar observe",
 			Unit:        "req",
@@ -341,6 +350,90 @@ func jobsPipelineSetup() (func() error, func(), error) {
 		return nil
 	}
 	cleanup := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	}
+	return op, cleanup, nil
+}
+
+// distributedDrainSetup measures the coordinator/worker path end to
+// end: a distributed campaign job sharded through /v1/leases, executed
+// by two loopback worker peers, merged and drained to done. The delta
+// against jobs/pipeline is the lease-protocol overhead (HTTP hops,
+// durable shard completes, merge) on an otherwise identical workload.
+func distributedDrainSetup() (func() error, func(), error) {
+	mgr, err := jobs.NewManager(nil, jobs.ManagerOptions{
+		Workers:      1,
+		QueueCap:     16,
+		LeaseTTL:     time.Minute,
+		LeaseSystems: 1,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	jobs.NewLeaseAPI(mgr).Register(mux)
+	srv := httptest.NewServer(mux)
+
+	wctx, wstop := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		w := jobs.NewWorker(jobs.WorkerOptions{
+			ID:      fmt.Sprintf("perf-w%d", i+1),
+			BaseURL: srv.URL,
+			Poll:    2 * time.Millisecond,
+			Workers: 1,
+			Logf:    func(string, ...any) {},
+		})
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w.Run(wctx)
+		}()
+	}
+
+	tuning := CampaignTuning()
+	tuning.SAIterations = 20
+	tuning.MaxEvaluations = 60
+	spec := jobs.Spec{
+		Kind:       jobs.KindCampaign,
+		Tuning:     jobs.TuningFromOptions(tuning),
+		Distribute: true,
+		Population: &jobs.Population{
+			NodeCounts:     []int{2},
+			AppsPerCount:   2,
+			Seed:           7,
+			DeadlineFactor: 2.0,
+		},
+	}
+	op := func() error {
+		j, err := mgr.Submit(spec)
+		if err != nil {
+			return err
+		}
+		_, ch, cancel, err := mgr.Subscribe(j.ID)
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		for range ch {
+			// Drain until the terminal transition closes the stream.
+		}
+		final, err := mgr.Get(j.ID)
+		if err != nil {
+			return err
+		}
+		if final.Status != jobs.StatusDone {
+			return fmt.Errorf("job %s: %s (%s)", j.ID, final.Status, final.Error)
+		}
+		return nil
+	}
+	cleanup := func() {
+		wstop()
+		<-done
+		<-done
+		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		mgr.Close(ctx)
