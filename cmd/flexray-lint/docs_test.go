@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestFlagDocsDrift mirrors the other binaries' guards: every
+// flexray-lint flag must appear (as `-name`) in the README and in the
+// OPERATIONS.md flag reference.
+func TestFlagDocsDrift(t *testing.T) {
+	fs := flag.NewFlagSet("flexray-lint", flag.ContinueOnError)
+	var o lintOptions
+	registerLintFlags(fs, &o)
+
+	for _, doc := range []string{"README.md", "OPERATIONS.md"} {
+		path := filepath.Join("..", "..", doc)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		text := string(data)
+		fs.VisitAll(func(f *flag.Flag) {
+			if !strings.Contains(text, "`-"+f.Name+"`") {
+				t.Errorf("%s omits flexray-lint flag `-%s` (%s)", doc, f.Name, f.Usage)
+			}
+		})
+	}
+}
+
+// TestRuleDocsDrift keeps the OPERATIONS.md rule reference in lock
+// step with the registered catalogue: every rule ID and every pack
+// name must be documented, so a new rule cannot ship undocumented.
+func TestRuleDocsDrift(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("reading OPERATIONS.md: %v", err)
+	}
+	text := string(data)
+	for _, r := range lint.Rules() {
+		if !strings.Contains(text, "`"+r.ID+"`") {
+			t.Errorf("OPERATIONS.md omits lint rule `%s` (%s)", r.ID, r.Title)
+		}
+	}
+	for _, p := range lint.Packs() {
+		if !strings.Contains(text, "`"+p+"`") {
+			t.Errorf("OPERATIONS.md omits lint pack `%s`", p)
+		}
+	}
+}

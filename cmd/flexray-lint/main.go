@@ -1,0 +1,201 @@
+// flexray-lint evaluates a system description (and optionally a bus
+// configuration) against the declarative policy packs in
+// internal/lint and prints a machine-readable report. It is the CLI
+// face of the same engine behind POST /v1/lint and the serve-side
+// -validate-jobs submission gate, so a finding here is exactly the
+// finding the server would raise.
+//
+// Usage:
+//
+//	flexray-lint -system sys.json                       # structure + headroom
+//	flexray-lint -system sys.json -config cfg.json      # full report
+//	flexray-lint -system sys.json -packs structure      # one pack
+//	flexray-lint -system sys.json -format json          # pinned report JSON
+//	flexray-lint -system sys.json -schedule=false       # skip schedule facts
+//
+// The exit code encodes the worst failing severity, so CI can gate on
+// it directly:
+//
+//	0  no failures (or only informational ones)
+//	1  warnings
+//	2  errors
+//	3  usage or input errors (unreadable files, unknown pack, ...)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/flexray"
+	"repro/internal/lint"
+	"repro/internal/model"
+)
+
+// lintOptions are the flexray-lint flags, registered through
+// registerLintFlags so the docs-drift guard can enumerate them
+// without running main.
+type lintOptions struct {
+	system   string
+	config   string
+	packs    string
+	format   string
+	schedule bool
+}
+
+func registerLintFlags(fs *flag.FlagSet, o *lintOptions) {
+	fs.StringVar(&o.system, "system", "", "system description JSON (required)")
+	fs.StringVar(&o.config, "config", "", "bus configuration JSON (optional; enables the config and schedule rules)")
+	fs.StringVar(&o.packs, "packs", "", "comma-separated policy packs to evaluate (default: all)")
+	fs.StringVar(&o.format, "format", "human", "report format: human | json | jsonl")
+	fs.BoolVar(&o.schedule, "schedule", true, "build and analyse the schedule (schedule/timing/headroom facts)")
+}
+
+func main() {
+	os.Exit(runLint(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runLint is main without the process exit, so tests can drive the
+// binary end to end and inspect the report bytes and exit code.
+func runLint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexray-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o lintOptions
+	registerLintFlags(fs, &o)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if o.system == "" {
+		fmt.Fprintln(stderr, "flexray-lint: -system is required")
+		fs.Usage()
+		return 3
+	}
+	switch o.format {
+	case "human", "json", "jsonl":
+	default:
+		fmt.Fprintf(stderr, "flexray-lint: unknown -format %q (want human, json or jsonl)\n", o.format)
+		return 3
+	}
+
+	var packs []string
+	if o.packs != "" {
+		packs = strings.Split(o.packs, ",")
+	}
+
+	sys, err := readSystem(o.system)
+	if err != nil {
+		fmt.Fprintf(stderr, "flexray-lint: %v\n", err)
+		return 3
+	}
+	var cfg *flexray.Config
+	if o.config != "" {
+		if cfg, err = readConfig(o.config, sys); err != nil {
+			fmt.Fprintf(stderr, "flexray-lint: %v\n", err)
+			return 3
+		}
+	}
+
+	opts := lint.DefaultOptions()
+	opts.Schedule = o.schedule
+	rep, err := lint.Run(sys, cfg, opts, packs...)
+	if err != nil {
+		fmt.Fprintf(stderr, "flexray-lint: %v\n", err)
+		return 3
+	}
+
+	if err := writeReport(stdout, rep, o.format); err != nil {
+		fmt.Fprintf(stderr, "flexray-lint: %v\n", err)
+		return 3
+	}
+	switch rep.MaxSeverity {
+	case lint.SeverityError:
+		return 2
+	case lint.SeverityWarning:
+		return 1
+	}
+	return 0
+}
+
+func readSystem(path string) (*model.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, err := model.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sys, nil
+}
+
+func readConfig(path string, sys *model.System) (*flexray.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := flexray.ReadJSON(f, sys)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// writeReport renders rep in the chosen format. "json" is the pinned
+// machine-readable report — byte-identical to the package goldens and
+// to the report POST /v1/lint returns. "jsonl" streams one finding
+// per line (for jq/grep pipelines) followed by a summary line.
+// "human" prints failures and skips with their explanations and a
+// one-line verdict.
+func writeReport(w io.Writer, rep *lint.Report, format string) error {
+	switch format {
+	case "json":
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", out)
+		return err
+	case "jsonl":
+		enc := json.NewEncoder(w)
+		for _, f := range rep.Findings {
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+		}
+		return enc.Encode(map[string]any{
+			"schema":       rep.Schema,
+			"system":       rep.System,
+			"summary":      rep.Summary,
+			"max_severity": rep.MaxSeverity,
+		})
+	}
+	return writeHuman(w, rep)
+}
+
+func writeHuman(w io.Writer, rep *lint.Report) error {
+	for _, f := range rep.Findings {
+		switch f.Status {
+		case lint.StatusFail:
+			subject := ""
+			if f.Subject != "" {
+				subject = f.Subject + ": "
+			}
+			fmt.Fprintf(w, "FAIL %s %-7s %s%s\n", f.Rule, f.Severity, subject, f.Explanation)
+		case lint.StatusSkip:
+			fmt.Fprintf(w, "skip %s         %s\n", f.Rule, f.Explanation)
+		}
+	}
+	s := rep.Summary
+	verdict := "clean"
+	if rep.MaxSeverity != "" {
+		verdict = "worst failure: " + string(rep.MaxSeverity)
+	}
+	_, err := fmt.Fprintf(w, "%s: %d rules — %d pass, %d fail, %d skipped (%s)\n",
+		rep.System, s.Rules, s.Pass, s.Fail, s.Skip, verdict)
+	return err
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", name)
+}
+
+// run drives runLint and returns (stdout, stderr, exit code).
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := runLint(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+// TestGoldenParity pins the CLI's machine-readable output to the
+// package goldens: the report flexray-lint prints is byte-identical
+// to the one internal/lint produces (and therefore to what
+// POST /v1/lint and the -validate-jobs gate embed for the same
+// input).
+func TestGoldenParity(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"invalid_sys.golden", []string{"-system", fixture("invalid_sys.json"), "-format", "json"}},
+		{"invalid_cfg.golden", []string{"-system", fixture("valid_sys.json"), "-config", fixture("invalid_cfg.json"), "-format", "json"}},
+		{"valid_full.golden", []string{"-system", fixture("valid_sys.json"), "-config", fixture("valid_cfg.json"), "-format", "json"}},
+		// gate_cheap is exactly the -validate-jobs submission gate's
+		// configuration: no config, schedule facts off.
+		{"gate_cheap.golden", []string{"-system", fixture("invalid_sys.json"), "-format", "json", "-schedule=false"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(fixture(tc.golden))
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			got, errOut, _ := run(t, tc.args...)
+			if errOut != "" {
+				t.Fatalf("stderr: %s", errOut)
+			}
+			if got != string(want) {
+				t.Errorf("report differs from %s:\n--- got\n%s\n--- want\n%s", tc.golden, got, want)
+			}
+		})
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean system", []string{"-system", fixture("valid_sys.json"), "-config", fixture("valid_cfg.json")}, 0},
+		{"error findings", []string{"-system", fixture("invalid_sys.json")}, 2},
+		{"config errors", []string{"-system", fixture("valid_sys.json"), "-config", fixture("invalid_cfg.json")}, 2},
+		{"missing -system", nil, 3},
+		{"unreadable system", []string{"-system", fixture("absent.json")}, 3},
+		{"unknown pack", []string{"-system", fixture("valid_sys.json"), "-packs", "nonsense"}, 3},
+		{"unknown format", []string{"-system", fixture("valid_sys.json"), "-format", "xml"}, 3},
+		{"unknown flag", []string{"-nope"}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+			if tc.want == 3 && stderr == "" {
+				t.Error("usage error with empty stderr")
+			}
+		})
+	}
+}
+
+// TestJSONLFormat: every line is a standalone JSON object — findings
+// first, then a summary line carrying the schema tag.
+func TestJSONLFormat(t *testing.T) {
+	stdout, _, code := run(t, "-system", fixture("invalid_sys.json"), "-format", "jsonl")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	lines := strings.Split(strings.TrimSuffix(stdout, "\n"), "\n")
+	var findings int
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v: %s", i+1, err, line)
+		}
+		if _, ok := obj["rule"]; ok {
+			findings++
+		}
+	}
+	// 26 rules, but SYS004 fails once per overrunning activity (t0 and
+	// m0), so the fixture yields 27 findings.
+	if findings != 27 {
+		t.Errorf("%d finding lines, want 27", findings)
+	}
+	var tail struct {
+		Schema      string       `json:"schema"`
+		Summary     lint.Summary `json:"summary"`
+		MaxSeverity string       `json:"max_severity"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Schema != lint.Schema || tail.MaxSeverity != "error" {
+		t.Errorf("summary line: schema %q, max_severity %q", tail.Schema, tail.MaxSeverity)
+	}
+	if tail.Summary.Fail == 0 {
+		t.Error("summary line lost the failure count")
+	}
+}
+
+// TestHumanFormat: failures carry rule ID, severity and explanation;
+// the verdict line closes the report.
+func TestHumanFormat(t *testing.T) {
+	stdout, _, code := run(t, "-system", fixture("invalid_sys.json"))
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, want := range []string{"FAIL SYS002", "FAIL SYS003", "FAIL SYS004", "worst failure: error"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("human output omits %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "skip SCH001") {
+		t.Errorf("human output hides skips:\n%s", stdout)
+	}
+}
+
+// TestPackSelection narrows the run to one pack end to end.
+func TestPackSelection(t *testing.T) {
+	stdout, _, code := run(t, "-system", fixture("valid_sys.json"), "-packs", "structure", "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Packs) != 1 || rep.Packs[0] != lint.PackStructure {
+		t.Fatalf("packs %v, want [structure]", rep.Packs)
+	}
+	for _, f := range rep.Findings {
+		if f.Pack != lint.PackStructure {
+			t.Errorf("pack %q leaked into a structure-only run", f.Pack)
+		}
+	}
+}

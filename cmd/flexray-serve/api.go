@@ -1,0 +1,154 @@
+package main
+
+// The /v1 error contract: every error response, on every endpoint and
+// every path (including the mux's own 404/405), is the structured
+// envelope
+//
+//	{"error": {"code": "...", "message": "...", "details": ...}}
+//
+// Codes are stable, machine-readable strings — clients branch on the
+// code, never on the message text. The vocabulary is documented in
+// OPERATIONS.md; new codes may be added, existing ones never change
+// meaning.
+
+import (
+	"net/http"
+	"strings"
+)
+
+// apiError is the payload inside the envelope.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Details carries structured, code-specific context; for
+	// lint_failed/lint_rejected it embeds the full lint report(s).
+	Details any `json:"details,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// Stable error codes used by specific call sites; the generic
+// per-status codes come from defaultCode.
+const (
+	codeMissingSystem = "missing_system"
+	codeInvalidSystem = "invalid_system"
+	codeMissingConfig = "missing_config"
+	codeInvalidConfig = "invalid_config"
+	codeAtCapacity    = "at_capacity"
+	codeTimeout       = "timeout"
+	codeQueueFull     = "queue_full"
+	codeStoreFailure  = "store_failure"
+	codeNotFinished   = "not_finished"
+	codeEvicted       = "evicted"
+	codeUnknownPack   = "unknown_pack"
+	codeLintFailed    = "lint_failed"
+	codeLintRejected  = "lint_rejected"
+)
+
+// defaultCode maps an HTTP status onto its generic stable code.
+func defaultCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusInternalServerError:
+		return "internal"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	}
+	return "error"
+}
+
+// httpError answers with the envelope under the status's generic code.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	httpErrorCode(w, status, defaultCode(status), msg)
+}
+
+// httpErrorCode answers with the envelope under a specific code.
+func httpErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: msg}})
+}
+
+// httpErrorDetails answers with the envelope plus structured details.
+func httpErrorDetails(w http.ResponseWriter, status int, code, msg string, details any) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: msg, Details: details}})
+}
+
+// handleJSON is the shared request-decode pipeline of the /v1 POST
+// endpoints: method routing comes from the mux pattern; this adds the
+// content-type gate (415), the body bound (413), the request timeout
+// and JSON decoding (400) in one place, then dispatches the typed
+// request. New endpoints inherit the whole guard table by
+// registering through it.
+func handleJSON[T any](s *server, h func(http.ResponseWriter, *http.Request, *T)) http.HandlerFunc {
+	return s.guard(func(w http.ResponseWriter, r *http.Request) {
+		req := new(T)
+		if !decodeBody(w, r, req) {
+			return
+		}
+		h(w, r, req)
+	})
+}
+
+// envelopeWriter rewrites the plain-text 404/405 bodies the ServeMux
+// emits for unmatched /v1 routes into the structured envelope. Those
+// responses never reach a registered handler, so this is the only
+// place they can be shaped. Handler-produced errors (already JSON)
+// pass through untouched: the rewrite triggers only on a non-JSON
+// content type at WriteHeader time (http.Error sets text/plain before
+// writing the header).
+type envelopeWriter struct {
+	http.ResponseWriter
+	suppress bool
+}
+
+func (e *envelopeWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.Contains(e.Header().Get("Content-Type"), "json") {
+		e.suppress = true
+		msg := "no such endpoint"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed for this endpoint"
+			if allow := e.Header().Get("Allow"); allow != "" {
+				msg += "; allowed: " + allow
+			}
+		}
+		e.Header().Set("Content-Type", "application/json")
+		httpError(e.ResponseWriter, status, msg)
+		return
+	}
+	e.ResponseWriter.WriteHeader(status)
+}
+
+func (e *envelopeWriter) Write(b []byte) (int, error) {
+	if e.suppress {
+		// Swallow the original text/plain body; the envelope is
+		// already written.
+		return len(b), nil
+	}
+	return e.ResponseWriter.Write(b)
+}
+
+// Flush keeps the event stream (SSE) working through the wrapper.
+func (e *envelopeWriter) Flush() {
+	if f, ok := e.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

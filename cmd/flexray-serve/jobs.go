@@ -12,10 +12,10 @@ import (
 
 // handleJobSubmit enqueues an async job; 202 on acceptance. A full
 // queue sheds with 503 + Retry-After, mirroring the synchronous
-// endpoints' load-shed behaviour.
-func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec jobs.Spec
-	if !decodeBody(w, r, &spec) {
+// endpoints' load-shed behaviour. With -validate-jobs on, uploaded
+// systems are linted first and hard failures rejected with 422.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request, spec *jobs.Spec) {
+	if !s.lintSubmission(w, spec) {
 		return
 	}
 	// The request span's identity rides along in the spec: the manager
@@ -27,18 +27,18 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			spec.TraceParent = sp.Traceparent()
 		}
 	}
-	job, err := s.jobs.Submit(spec)
+	job, err := s.jobs.Submit(*spec)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job)
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
 		s.markShed()
 		w.Header().Set("Retry-After", retryAfter)
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		httpErrorCode(w, http.StatusServiceUnavailable, codeQueueFull, err.Error())
 	case errors.Is(err, jobs.ErrStore):
 		// The spec was fine; persisting it failed. A server fault,
 		// not a client error.
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpErrorCode(w, http.StatusInternalServerError, codeStoreFailure, err.Error())
 	default:
 		httpError(w, http.StatusBadRequest, err.Error())
 	}
@@ -54,20 +54,21 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
 }
 
-// missingStatus maps a lookup failure onto its status code: 410 Gone
-// for a job the retention policy evicted (it existed; its result is
-// gone for good — do not retry), 404 otherwise.
-func missingStatus(err error) int {
+// jobMissing answers a lookup failure: 410 Gone / code "evicted" for
+// a job the retention policy evicted (it existed; its result is gone
+// for good — do not retry), 404 otherwise.
+func jobMissing(w http.ResponseWriter, err error) {
 	if errors.Is(err, jobs.ErrEvicted) {
-		return http.StatusGone
+		httpErrorCode(w, http.StatusGone, codeEvicted, err.Error())
+		return
 	}
-	return http.StatusNotFound
+	httpError(w, http.StatusNotFound, err.Error())
 }
 
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		httpError(w, missingStatus(err), err.Error())
+		jobMissing(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -79,9 +80,9 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
 	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, jobs.ErrEvicted):
-		httpError(w, missingStatus(err), err.Error())
+		jobMissing(w, err)
 	case errors.Is(err, jobs.ErrNotFinished):
-		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s, not finished", job.Status))
+		httpErrorCode(w, http.StatusConflict, codeNotFinished, fmt.Sprintf("job is %s, not finished", job.Status))
 	default: // failed or cancelled: no payload to serve
 		httpError(w, http.StatusConflict, fmt.Sprintf("job %s: %s", job.Status, job.Error))
 	}
@@ -93,7 +94,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, job)
 	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, jobs.ErrEvicted):
-		httpError(w, missingStatus(err), err.Error())
+		jobMissing(w, err)
 	default: // already terminal
 		httpError(w, http.StatusConflict, err.Error())
 	}
@@ -119,7 +120,7 @@ type traceResponse struct {
 func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	snap, job, err := s.jobs.Trace(r.PathValue("id"))
 	if err != nil {
-		httpError(w, missingStatus(err), err.Error())
+		jobMissing(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, traceResponse{
@@ -139,7 +140,7 @@ func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	snap, ch, cancel, err := s.jobs.Subscribe(r.PathValue("id"))
 	if err != nil {
-		httpError(w, missingStatus(err), err.Error())
+		jobMissing(w, err)
 		return
 	}
 	defer cancel()

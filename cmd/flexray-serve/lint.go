@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/flexray"
+	"repro/internal/jobs"
+	"repro/internal/lint"
+	"repro/internal/model"
+)
+
+// lintRequest is the POST /v1/lint payload. Config is optional — a
+// bare system gets the system-level rules and explicit skips for the
+// rest. FailOn turns the endpoint into a gate: when the report's
+// worst failing severity reaches it, the response is a 422 with the
+// report embedded in the error details.
+type lintRequest struct {
+	System json.RawMessage `json:"system"`
+	Config json.RawMessage `json:"config,omitempty"`
+	// Packs selects policy packs; empty means all.
+	Packs []string `json:"packs,omitempty"`
+	// Schedule enables the expensive schedule/analysis facts
+	// (default true; set false for the cheap structural pass).
+	Schedule *bool `json:"schedule,omitempty"`
+	// FailOn is "info", "warning" or "error"; empty means always 200.
+	FailOn string `json:"fail_on,omitempty"`
+	// Thresholds overrides individual headroom knobs.
+	Thresholds *lint.Thresholds `json:"thresholds,omitempty"`
+}
+
+func (s *server) handleLint(w http.ResponseWriter, r *http.Request, req *lintRequest) {
+	sys, ok := parseSystem(w, req.System)
+	if !ok {
+		return
+	}
+	opts := lint.DefaultOptions()
+	if req.Schedule != nil {
+		opts.Schedule = *req.Schedule
+	}
+	if req.Thresholds != nil {
+		opts.Thresholds = *req.Thresholds
+	}
+	var failOn lint.Severity
+	if req.FailOn != "" {
+		var err error
+		if failOn, err = lint.ParseSeverity(req.FailOn); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	var cfg *flexray.Config
+	if len(req.Config) > 0 {
+		var err error
+		if cfg, err = flexray.ReadJSON(bytes.NewReader(req.Config), sys); err != nil {
+			httpErrorCode(w, http.StatusBadRequest, codeInvalidConfig, err.Error())
+			return
+		}
+	}
+	// Pack selection errors are client errors; surface them before the
+	// heavy slot is taken.
+	if _, _, err := lint.RulesOf(req.Packs...); err != nil {
+		httpErrorCode(w, http.StatusBadRequest, codeUnknownPack, err.Error())
+		return
+	}
+	start := time.Now()
+	var rep *lint.Report
+	if opts.Schedule && cfg != nil {
+		// Schedule construction plus holistic analysis is real work;
+		// run it on a heavy slot like the other compute endpoints.
+		if err := s.compute(r.Context(), func() {
+			rep, _ = lint.Run(sys, cfg, opts, req.Packs...)
+		}); err != nil {
+			computeError(w, err)
+			return
+		}
+	} else {
+		rep, _ = lint.Run(sys, cfg, opts, req.Packs...)
+	}
+	s.lintMetrics.Report("http", rep, time.Since(start))
+	if failOn != "" && rep.Failed(failOn) {
+		httpErrorDetails(w, http.StatusUnprocessableEntity, codeLintFailed,
+			fmt.Sprintf("lint failed at severity %s: rules %v", rep.MaxSeverity, rep.FailingRules(failOn)),
+			map[string]any{"rules": rep.FailingRules(failOn), "report": rep})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// rejectedSystem is one entry in the details of a lint_rejected 422:
+// which uploaded system failed, which rules, and the full report so
+// the client sees the same artefact flexray-lint would print.
+type rejectedSystem struct {
+	// System names the offending upload: "system" for the top-level
+	// system, "population[i]" for campaign uploads.
+	System string       `json:"system"`
+	Rules  []string     `json:"rules"`
+	Report *lint.Report `json:"report"`
+}
+
+// lintSubmission is the opt-in -validate-jobs gate: it lints every
+// uploaded system in the spec with the cheap structural pass
+// (Schedule=false — identical to flexray-lint -schedule=false) and
+// rejects the submission with a structured 422 when any system has an
+// error-severity failure. Reports false when the submission was
+// rejected (response already written).
+func (s *server) lintSubmission(w http.ResponseWriter, spec *jobs.Spec) bool {
+	if !s.cfg.ValidateJobs {
+		return true
+	}
+	type upload struct {
+		name string
+		raw  json.RawMessage
+	}
+	var uploads []upload
+	if len(spec.System) > 0 {
+		uploads = append(uploads, upload{"system", spec.System})
+	}
+	if spec.Population != nil {
+		for i, raw := range spec.Population.Systems {
+			uploads = append(uploads, upload{fmt.Sprintf("population[%d]", i), raw})
+		}
+	}
+	opts := lint.DefaultOptions()
+	opts.Schedule = false
+	var rejected []rejectedSystem
+	for _, up := range uploads {
+		sys, err := model.ReadJSON(bytes.NewReader(up.raw))
+		if err != nil {
+			// Unparseable uploads are plain bad requests; the manager
+			// would reject them anyway, but failing here keeps the
+			// gate's contract: nothing invalid reaches the queue.
+			httpErrorCode(w, http.StatusBadRequest, codeInvalidSystem,
+				fmt.Sprintf("%s: %v", up.name, err))
+			return false
+		}
+		start := time.Now()
+		rep, _ := lint.Run(sys, nil, opts)
+		s.lintMetrics.Report("gate", rep, time.Since(start))
+		if rep.Failed(lint.SeverityError) {
+			rejected = append(rejected, rejectedSystem{
+				System: up.name,
+				Rules:  rep.FailingRules(lint.SeverityError),
+				Report: rep,
+			})
+		}
+	}
+	if len(rejected) > 0 {
+		s.lintMetrics.RejectedSubmission()
+		httpErrorDetails(w, http.StatusUnprocessableEntity, codeLintRejected,
+			fmt.Sprintf("submission rejected by the lint gate: %d of %d uploaded systems have error-severity findings",
+				len(rejected), len(uploads)),
+			map[string]any{"rejected": rejected})
+		return false
+	}
+	return true
+}

@@ -113,6 +113,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flexray"
 	"repro/internal/jobs"
+	"repro/internal/lint"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -149,6 +150,7 @@ type serveOptions struct {
 	peerID          string
 	peerPoll        time.Duration
 	addrFile        string
+	validateJobs    bool
 	version         bool
 }
 
@@ -180,6 +182,7 @@ func registerFlags(fs *flag.FlagSet) *serveOptions {
 	fs.StringVar(&o.peerID, "peer-id", "", "worker identity reported to the coordinator (default hostname-pid)")
 	fs.DurationVar(&o.peerPoll, "peer-poll", 250*time.Millisecond, "idle wait between lease claim attempts in -peer mode")
 	fs.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once serving (for :0 addresses)")
+	fs.BoolVar(&o.validateJobs, "validate-jobs", false, "lint uploaded systems at job submission and reject error-severity findings with 422")
 	fs.BoolVar(&o.version, "version", false, "print build information and exit")
 	return o
 }
@@ -236,6 +239,7 @@ func runServe(args []string) int {
 		JobCompactInterval: o.compactInterval,
 		LeaseTTL:           o.leaseTTL,
 		LeaseSystems:       o.leaseSystems,
+		ValidateJobs:       o.validateJobs,
 		Logger:             logger,
 		TraceSample:        o.traceSample,
 		TraceSlow:          o.traceSlow,
@@ -371,6 +375,10 @@ type serverConfig struct {
 	// defaults.
 	LeaseTTL     time.Duration
 	LeaseSystems int
+	// ValidateJobs turns on the -validate-jobs lint gate: uploaded
+	// systems are linted (structural pass) at submission and
+	// error-severity findings reject the job with a structured 422.
+	ValidateJobs bool
 	// Logger receives the request and operational logs; nil uses
 	// slog.Default().
 	Logger *slog.Logger
@@ -395,6 +403,9 @@ type server struct {
 	// jobsMetrics is the instrument set shared by the manager and (in
 	// -peer mode) the lease worker's flexray_worker_* counters.
 	jobsMetrics *jobs.Metrics
+	// lintMetrics counts /v1/lint reports and -validate-jobs gate
+	// activity.
+	lintMetrics *lint.Metrics
 	// engine counts the synchronous endpoints' evaluations; healthz
 	// adds the job manager's totals on top.
 	engine campaign.EngineCounters
@@ -440,6 +451,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	s.jobsMetrics = jobs.NewMetrics(s.reg)
+	s.lintMetrics = lint.NewMetrics(s.reg)
 	mgr, err := jobs.NewManager(cfg.JobStore, jobs.ManagerOptions{
 		Workers:         cfg.JobWorkers,
 		QueueCap:        cfg.JobQueueCap,
@@ -465,10 +477,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.route("GET /metrics", s.reg.ServeHTTP)
 	s.route("GET /v1/traces/{id}", s.handleTraceGet)
 	s.route("GET /v1/jobs/{id}/spans", s.handleJobSpans)
-	s.route("POST /v1/optimize", s.guard(s.handleOptimize))
-	s.route("POST /v1/analyze", s.guard(s.handleAnalyze))
-	s.route("POST /v1/simulate", s.guard(s.handleSimulate))
-	s.route("POST /v1/jobs", s.guard(s.handleJobSubmit))
+	s.route("POST /v1/optimize", handleJSON(s, s.handleOptimize))
+	s.route("POST /v1/analyze", handleJSON(s, s.handleAnalyze))
+	s.route("POST /v1/simulate", handleJSON(s, s.handleSimulate))
+	s.route("POST /v1/lint", handleJSON(s, s.handleLint))
+	s.route("POST /v1/jobs", handleJSON(s, s.handleJobSubmit))
 	s.route("GET /v1/jobs", s.handleJobList)
 	s.route("GET /v1/jobs/{id}", s.handleJobGet)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -497,7 +510,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		// Unmatched /v1 routes answer with the structured error
+		// envelope instead of the mux's plain-text 404/405.
+		w = &envelopeWriter{ResponseWriter: w}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Close shuts the job subsystem down, checkpointing queued and running
 // jobs to the store.
@@ -572,10 +592,10 @@ const retryAfter = "1"
 func computeError(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBusy) {
 		w.Header().Set("Retry-After", retryAfter)
-		httpError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+		httpErrorCode(w, http.StatusServiceUnavailable, codeAtCapacity, "server at capacity, retry later")
 		return
 	}
-	httpError(w, http.StatusGatewayTimeout, "computation exceeded the request budget")
+	httpErrorCode(w, http.StatusGatewayTimeout, codeTimeout, "computation exceeded the request budget")
 }
 
 // handleHealth is the combined probe: the /livez payload plus the
@@ -632,11 +652,7 @@ type optimizeResponse struct {
 	ElapsedUs int64                `json:"elapsed_us"`
 }
 
-func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	var req optimizeRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request, req *optimizeRequest) {
 	sys, ok := parseSystem(w, req.System)
 	if !ok {
 		return
@@ -701,8 +717,8 @@ type analyzeResponse struct {
 	Violations  []string           `json:"violations,omitempty"`
 }
 
-func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	sys, cfg, _, ok := parseConfigured(w, r)
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request, req *configuredRequest) {
+	sys, cfg, ok := parseConfigured(w, req)
 	if !ok {
 		return
 	}
@@ -744,8 +760,8 @@ type simulateResponse struct {
 	Unfinished     int                `json:"unfinished"`
 }
 
-func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	sys, cfg, req, ok := parseConfigured(w, r)
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, req *configuredRequest) {
+	sys, cfg, ok := parseConfigured(w, req)
 	if !ok {
 		return
 	}
@@ -794,30 +810,26 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// parseConfigured decodes the shared {system, config} request shape.
-func parseConfigured(w http.ResponseWriter, r *http.Request) (*model.System, *flexray.Config, *configuredRequest, bool) {
-	var req configuredRequest
-	if !decodeBody(w, r, &req) {
-		return nil, nil, nil, false
-	}
+// parseConfigured resolves the shared {system, config} request shape.
+func parseConfigured(w http.ResponseWriter, req *configuredRequest) (*model.System, *flexray.Config, bool) {
 	sys, ok := parseSystem(w, req.System)
 	if !ok {
-		return nil, nil, nil, false
+		return nil, nil, false
 	}
 	if len(req.Config) == 0 {
-		httpError(w, http.StatusBadRequest, "missing \"config\"")
-		return nil, nil, nil, false
+		httpErrorCode(w, http.StatusBadRequest, codeMissingConfig, "missing \"config\"")
+		return nil, nil, false
 	}
 	cfg, err := flexray.ReadJSON(bytes.NewReader(req.Config), sys)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return nil, nil, nil, false
+		httpErrorCode(w, http.StatusBadRequest, codeInvalidConfig, err.Error())
+		return nil, nil, false
 	}
 	if err := cfg.Validate(flexray.DefaultParams(), sys); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid configuration: %v", err))
-		return nil, nil, nil, false
+		httpErrorCode(w, http.StatusUnprocessableEntity, codeInvalidConfig, fmt.Sprintf("invalid configuration: %v", err))
+		return nil, nil, false
 	}
-	return sys, cfg, &req, true
+	return sys, cfg, true
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -836,12 +848,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func parseSystem(w http.ResponseWriter, raw json.RawMessage) (*model.System, bool) {
 	if len(raw) == 0 {
-		httpError(w, http.StatusBadRequest, "missing \"system\"")
+		httpErrorCode(w, http.StatusBadRequest, codeMissingSystem, "missing \"system\"")
 		return nil, false
 	}
 	sys, err := model.ReadJSON(bytes.NewReader(raw))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpErrorCode(w, http.StatusBadRequest, codeInvalidSystem, err.Error())
 		return nil, false
 	}
 	return sys, true
@@ -863,8 +875,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	if err := enc.Encode(v); err != nil {
 		slog.Error("encoding response", "error", err)
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

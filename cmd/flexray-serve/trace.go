@@ -179,7 +179,7 @@ type jobSpansResponse struct {
 func (s *server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		httpError(w, missingStatus(err), err.Error())
+		jobMissing(w, err)
 		return
 	}
 	resp := jobSpansResponse{JobID: job.ID, Status: job.Status, TraceID: job.TraceID, Summary: job.Spans}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/flexray"
+	"repro/internal/model"
+)
+
+// InterferenceSets exports the Eq. (2)-(3) interference environment of
+// a DYN message as queryable facts: sameNode is ms(m), the DYN
+// messages of m's own sender node that compete for the node's
+// transmission opportunities (any FrameID), and lowerFID is hp(m), the
+// DYN messages of *other* nodes whose FrameIDs precede m's — their
+// slots come up earlier in every bus cycle, so they can push m's slot
+// back or fill cycles entirely. Messages without a FrameID assignment
+// are not part of any environment. Both slices are sorted by ActID.
+//
+// This is the same decomposition the fixpoint in Run iterates over;
+// exporting it lets lint and tooling explain *who* delays a message
+// without re-running the analysis.
+func InterferenceSets(sys *model.System, cfg *flexray.Config, m model.ActID) (sameNode, lowerFID []model.ActID) {
+	act := sys.App.Act(m)
+	if !act.IsMessage() || act.Class != model.DYN {
+		return nil, nil
+	}
+	fid, ok := cfg.FrameID[m]
+	if !ok {
+		return nil, nil
+	}
+	for _, o := range sys.App.Messages(int(model.DYN)) {
+		if o == m {
+			continue
+		}
+		ofid, ok := cfg.FrameID[o]
+		if !ok {
+			continue
+		}
+		oa := sys.App.Act(o)
+		switch {
+		case oa.Node == act.Node:
+			sameNode = append(sameNode, o)
+		case ofid < fid:
+			lowerFID = append(lowerFID, o)
+		}
+	}
+	sort.Slice(sameNode, func(i, j int) bool { return sameNode[i] < sameNode[j] })
+	sort.Slice(lowerFID, func(i, j int) bool { return lowerFID[i] < lowerFID[j] })
+	return sameNode, lowerFID
+}

@@ -150,29 +150,43 @@ func (a *LeaseAPI) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// leaseStatus maps a manager lease error onto its HTTP status.
-func leaseStatus(err error) int {
+// leaseStatus maps a manager lease error onto its HTTP status and
+// stable error code.
+func leaseStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrLeasePayload):
-		return http.StatusBadRequest
+		return http.StatusBadRequest, "lease_payload"
 	case errors.Is(err, ErrLeaseNotFound):
-		return http.StatusNotFound
+		return http.StatusNotFound, "lease_not_found"
 	case errors.Is(err, ErrLeaseStale):
-		return http.StatusConflict
+		return http.StatusConflict, "lease_stale"
 	case errors.Is(err, ErrLeaseGone):
-		return http.StatusGone
+		return http.StatusGone, "lease_gone"
 	case errors.Is(err, ErrClosed):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "unavailable"
 	}
-	return http.StatusInternalServerError
+	return http.StatusInternalServerError, "internal"
 }
 
 func (a *LeaseAPI) leaseError(w http.ResponseWriter, err error) {
-	a.error(w, leaseStatus(err), err.Error())
+	status, code := leaseStatus(err)
+	a.errorCode(w, status, code, err.Error())
 }
 
 func (a *LeaseAPI) error(w http.ResponseWriter, code int, msg string) {
-	a.json(w, code, map[string]string{"error": msg})
+	ec := "invalid_request"
+	if code == http.StatusRequestEntityTooLarge {
+		ec = "too_large"
+	}
+	a.errorCode(w, code, ec, msg)
+}
+
+// errorCode writes the structured /v1 error envelope
+// {"error": {"code", "message"}} the rest of the API speaks.
+func (a *LeaseAPI) errorCode(w http.ResponseWriter, status int, code, msg string) {
+	a.json(w, status, map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
 }
 
 func (a *LeaseAPI) json(w http.ResponseWriter, code int, v any) {

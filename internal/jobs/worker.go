@@ -352,12 +352,24 @@ func (w *Worker) post(ctx context.Context, path string, body any) (*http.Respons
 // sentinel error (so the loop logic can branch on it) with the
 // server's message attached.
 func leaseRespError(resp *http.Response) error {
+	// The coordinator speaks the structured envelope
+	// {"error": {"code", "message"}}; older peers sent a bare
+	// {"error": "msg"} string. Accept both (mixed-version fleets
+	// upgrade one process at a time), falling back to the raw body.
 	var body struct {
-		Error string `json:"error"`
+		Error json.RawMessage `json:"error"`
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	_ = json.Unmarshal(data, &body)
-	msg := body.Error
+	var msg string
+	var structured struct {
+		Message string `json:"message"`
+	}
+	if json.Unmarshal(body.Error, &structured) == nil && structured.Message != "" {
+		msg = structured.Message
+	} else {
+		_ = json.Unmarshal(body.Error, &msg)
+	}
 	if msg == "" {
 		msg = strings.TrimSpace(string(data))
 	}

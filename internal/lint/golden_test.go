@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report fixtures")
+
+// goldenCases are the pinned reports: fixture systems with known
+// violations, run through the same entry point the CLI, /v1/lint and
+// the submission gate share. Regenerate with
+//
+//	go test ./internal/lint -run TestGolden -update
+func goldenCases() []struct {
+	name     string
+	sys, cfg string // testdata file names; cfg may be empty
+	schedule bool
+} {
+	return []struct {
+		name     string
+		sys, cfg string
+		schedule bool
+	}{
+		{name: "valid_full", sys: "valid_sys.json", cfg: "valid_cfg.json", schedule: true},
+		{name: "invalid_sys", sys: "invalid_sys.json", schedule: true},
+		{name: "invalid_cfg", sys: "valid_sys.json", cfg: "invalid_cfg.json", schedule: true},
+		{name: "gate_cheap", sys: "invalid_sys.json", schedule: false},
+	}
+}
+
+func TestGoldenReports(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := loadSystem(t, tc.sys)
+			opts := DefaultOptions()
+			opts.Schedule = tc.schedule
+			var rep *Report
+			var err error
+			if tc.cfg != "" {
+				rep, err = Run(sys, loadConfig(t, sys, tc.cfg), opts)
+			} else {
+				rep, err = Run(sys, nil, opts)
+			}
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestReportRoundTrip pins the wire schema: a report survives a
+// JSON round trip bit-identically, so consumers can archive and
+// re-emit reports.
+func TestReportRoundTrip(t *testing.T) {
+	sys := loadSystem(t, "invalid_sys.json")
+	rep, err := Run(sys, nil, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema %q, want %q", rep.Schema, Schema)
+	}
+	b1, _ := json.Marshal(rep)
+	var back Report
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	b2, _ := json.Marshal(&back)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("round trip drifted:\n%s\n%s", b1, b2)
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics publishes lint telemetry into an obs.Registry. A nil
+// *Metrics is a valid no-op receiver, so uninstrumented callers (the
+// CLI, library users) pay only nil checks.
+type Metrics struct {
+	reports    map[string]*obs.Counter   // keyed by source
+	findings   map[Status]*obs.Counter   // keyed by finding status
+	failures   map[Severity]*obs.Counter // keyed by failing severity
+	reportTime *obs.Histogram
+	rejected   *obs.Counter
+}
+
+// NewMetrics registers the lint instrument families on r. Register at
+// most once per registry (a registry rejects duplicate series).
+func NewMetrics(r *obs.Registry) *Metrics {
+	x := &Metrics{}
+	x.reports = map[string]*obs.Counter{}
+	for _, src := range []string{"http", "gate"} {
+		x.reports[src] = r.Counter("flexray_lint_reports_total",
+			"Lint reports produced, by source (http = POST /v1/lint, gate = -validate-jobs).", "source", src)
+	}
+	x.findings = map[Status]*obs.Counter{}
+	for _, st := range []Status{StatusPass, StatusFail, StatusSkip} {
+		x.findings[st] = r.Counter("flexray_lint_findings_total",
+			"Findings emitted across all lint reports, by status.", "status", string(st))
+	}
+	x.failures = map[Severity]*obs.Counter{}
+	for _, sev := range []Severity{SeverityInfo, SeverityWarning, SeverityError} {
+		x.failures[sev] = r.Counter("flexray_lint_failures_total",
+			"Failing findings across all lint reports, by rule severity.", "severity", string(sev))
+	}
+	x.reportTime = r.Histogram("flexray_lint_report_seconds",
+		"End-to-end lint duration: fact extraction plus policy evaluation.", obs.DefBuckets)
+	x.rejected = r.Counter("flexray_lint_rejected_submissions_total",
+		"Job submissions rejected by the -validate-jobs lint gate.")
+	return x
+}
+
+// Report records one produced report: its source, its finding mix and
+// how long producing it took.
+func (x *Metrics) Report(source string, rep *Report, elapsed time.Duration) {
+	if x == nil || rep == nil {
+		return
+	}
+	if c, ok := x.reports[source]; ok {
+		c.Inc()
+	}
+	x.findings[StatusPass].Add(float64(rep.Summary.Pass))
+	x.findings[StatusFail].Add(float64(rep.Summary.Fail))
+	x.findings[StatusSkip].Add(float64(rep.Summary.Skip))
+	x.failures[SeverityError].Add(float64(rep.Summary.Errors))
+	x.failures[SeverityWarning].Add(float64(rep.Summary.Warnings))
+	x.failures[SeverityInfo].Add(float64(rep.Summary.Infos))
+	x.reportTime.Observe(elapsed.Seconds())
+}
+
+// RejectedSubmission records one job submission bounced by the gate.
+func (x *Metrics) RejectedSubmission() {
+	if x == nil {
+		return
+	}
+	x.rejected.Inc()
+}

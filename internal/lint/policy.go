@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"repro/internal/flexray"
+	"repro/internal/model"
+)
+
+// scheduleGap explains why schedule-level facts are absent, or ""
+// when a schedule table was built.
+func (f *Facts) scheduleGap() string {
+	if f.Table != nil {
+		return ""
+	}
+	if f.Cfg == nil {
+		return "no bus configuration supplied"
+	}
+	if f.BuildErr != nil {
+		return "schedule construction failed (see SCH001)"
+	}
+	return f.ScheduleSkip
+}
+
+// analysisGap explains why analysis-level facts are absent, or ""
+// when the holistic analysis ran.
+func (f *Facts) analysisGap() string {
+	if f.Res != nil {
+		return ""
+	}
+	if gap := f.scheduleGap(); gap != "" {
+		return gap
+	}
+	return "holistic analysis unavailable for this schedule"
+}
+
+// skipReason reports why a rule's facts are unavailable; "" means the
+// rule can run.
+func skipReason(r Rule, f *Facts) string {
+	if r.needs&needsConfig != 0 && f.Cfg == nil {
+		return "no bus configuration supplied"
+	}
+	if r.needs&needsSchedule != 0 {
+		if gap := f.scheduleGap(); gap != "" {
+			return gap
+		}
+	}
+	if r.needs&needsAnalysis != 0 {
+		if gap := f.analysisGap(); gap != "" {
+			return gap
+		}
+	}
+	return ""
+}
+
+// Evaluate runs the named policy packs (all packs when none are
+// named) over already-extracted facts. Every selected rule
+// contributes at least one finding — pass, fail or skip — so a report
+// never silently omits a rule. The returned error is non-nil only for
+// unknown pack names.
+func Evaluate(f *Facts, packs ...string) (*Report, error) {
+	rules, names, err := RulesOf(packs...)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:     Schema,
+		Packs:      names,
+		Configured: f.Cfg != nil,
+		Scheduled:  f.Res != nil,
+		Findings:   []Finding{},
+	}
+	if f.Sys != nil {
+		rep.System = f.Sys.Name
+	}
+	for _, r := range rules {
+		rep.Findings = append(rep.Findings, evalRule(r, f)...)
+	}
+	rep.summarize(len(rules))
+	return rep, nil
+}
+
+// evalRule produces the findings of one rule, stamping rule identity
+// onto whatever the check returns.
+func evalRule(r Rule, f *Facts) []Finding {
+	stamp := func(fi Finding) Finding {
+		fi.Rule = r.ID
+		fi.Pack = r.Pack
+		fi.Severity = r.Severity
+		return fi
+	}
+	if reason := skipReason(r, f); reason != "" {
+		return []Finding{stamp(Finding{Status: StatusSkip, Explanation: reason})}
+	}
+	fails, pass := r.check(f, f.Thresholds)
+	if len(fails) == 0 {
+		if pass == "" {
+			pass = r.Title
+		}
+		return []Finding{stamp(Finding{Status: StatusPass, Explanation: pass})}
+	}
+	out := make([]Finding, 0, len(fails))
+	for _, fi := range fails {
+		out = append(out, stamp(fi))
+	}
+	return out
+}
+
+// Run extracts facts from sys (cfg may be nil) and evaluates the
+// named policy packs in one step. It is the single entry point shared
+// by the CLI, POST /v1/lint and the -validate-jobs gate, which keeps
+// their reports byte-identical for identical inputs.
+func Run(sys *model.System, cfg *flexray.Config, opts Options, packs ...string) (*Report, error) {
+	return Evaluate(Extract(sys, cfg, opts), packs...)
+}

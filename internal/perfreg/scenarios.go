@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flexray"
 	"repro/internal/jobs"
+	"repro/internal/lint"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -204,6 +205,20 @@ func Suite() []*Scenario {
 			AllocTolPct: 10,
 			BytesTolPct: 25,
 			Setup:       tracedRequestSetup,
+		},
+		{
+			Name:        "lint/report",
+			Description: "full policy-pack lint report (fact extraction incl. schedule build + analysis, every rule evaluated) on the session system",
+			Unit:        "report",
+			Serial:      true,
+			AllocWarmup: 4,
+			AllocOps:    8,
+			// The fact extractor re-runs the schedule build and holistic
+			// analysis each report; a few allocations shift with map
+			// sizing on that path.
+			AllocTolPct: 5,
+			BytesTolPct: 25,
+			Setup:       lintReportSetup,
 		},
 		{
 			Name:        "fig7/sweep",
@@ -480,6 +495,38 @@ func tracedRequestSetup() (func() error, func(), error) {
 		}
 		if rec.Header().Get("X-Trace-Id") == "" {
 			return errors.New("traced request carried no X-Trace-Id")
+		}
+		return nil
+	}
+	return op, nil, nil
+}
+
+// lintReportSetup measures one full flexray-lint report over the
+// session system configured by its own BBC result: fact extraction
+// (schedule build + holistic analysis) plus the evaluation of every
+// registered policy rule. This is the unit of work POST /v1/lint and
+// the CLI spend per request.
+func lintReportSetup() (func() error, func(), error) {
+	sys, err := SessionSystem()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.BBC(sys, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := res.Config
+	rules := len(lint.Rules())
+	op := func() error {
+		rep, err := lint.Run(sys, cfg, lint.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if rep.Summary.Rules != rules {
+			return fmt.Errorf("lint report covered %d rules, want %d", rep.Summary.Rules, rules)
+		}
+		if !rep.Scheduled {
+			return errors.New("lint report skipped the schedule facts")
 		}
 		return nil
 	}
